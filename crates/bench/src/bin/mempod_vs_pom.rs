@@ -1,0 +1,65 @@
+//! **§2.5 MemPod vs PoM** — average main-memory access time (AMMAT, the
+//! metric preferred by MemPod's authors) under MemPod relative to PoM.
+//!
+//! Paper reference: in this technology setting (DRAM + NVM rather than
+//! MemPod's original on-/off-chip DRAM), MemPod's average access time is
+//! *longer* than PoM's by 19% (single-program) and 18% (multi-program),
+//! because it lacks cost-benefit analysis; this motivates PoM as the
+//! paper's baseline.
+
+use profess_bench::{
+    run_solo, run_workload, summarize, target_from_args, MULTI_TARGET_MISSES,
+};
+use profess_core::system::PolicyKind;
+use profess_metrics::table::TextTable;
+use profess_trace::{workloads, SpecProgram};
+use profess_types::SystemConfig;
+
+fn main() {
+    let target = target_from_args(MULTI_TARGET_MISSES);
+    println!("MemPod vs PoM: average read latency (AMMAT proxy)\n");
+    // Single-program.
+    let cfg1 = SystemConfig::scaled_single();
+    let mut t = TextTable::new(vec!["program", "PoM lat", "MemPod lat", "ratio"]);
+    let mut solo_ratios = Vec::new();
+    for prog in SpecProgram::ALL {
+        let pom = run_solo(&cfg1, PolicyKind::Pom, prog, target);
+        let pod = run_solo(&cfg1, PolicyKind::MemPod, prog, target);
+        let r = pod.avg_read_latency_cycles / pom.avg_read_latency_cycles;
+        solo_ratios.push(r);
+        t.row(vec![
+            prog.name().to_string(),
+            format!("{:.1}", pom.avg_read_latency_cycles),
+            format!("{:.1}", pod.avg_read_latency_cycles),
+            format!("{r:.3}"),
+        ]);
+    }
+    println!("{t}");
+    let s = summarize(&solo_ratios);
+    println!(
+        "single-program geomean: {:+.1}% (paper: +19%)\n",
+        (s.geomean - 1.0) * 100.0
+    );
+    // Multi-program over a subset of workloads (every fourth, for time).
+    let cfg4 = SystemConfig::scaled_quad();
+    let mut multi_ratios = Vec::new();
+    for w in workloads().iter().step_by(4) {
+        let pom = run_workload(&cfg4, PolicyKind::Pom, w, target);
+        let pod = run_workload(&cfg4, PolicyKind::MemPod, w, target);
+        multi_ratios.push(pod.avg_read_latency_cycles / pom.avg_read_latency_cycles);
+    }
+    let m = summarize(&multi_ratios);
+    println!(
+        "multi-program geomean ({} workloads): {:+.1}% (paper: +18%)",
+        multi_ratios.len(),
+        (m.geomean - 1.0) * 100.0
+    );
+    println!(
+        "shape {}",
+        if s.geomean > 1.0 && m.geomean > 1.0 {
+            "holds: MemPod's access time is longer than PoM's"
+        } else {
+            "DEVIATES: MemPod did not lose to PoM here"
+        }
+    );
+}

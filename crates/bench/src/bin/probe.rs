@@ -1,0 +1,45 @@
+//! Calibration probe (not a paper figure): per-program solo comparison of
+//! all policies on the single-core system, with diagnostics. Used to check
+//! that the reproduction's result *shapes* match the paper before running
+//! the figure benches.
+
+use profess_bench::run_solo;
+use profess_core::system::PolicyKind;
+use profess_metrics::table::TextTable;
+use profess_trace::SpecProgram;
+use profess_types::SystemConfig;
+use std::time::Instant;
+
+fn main() {
+    let target: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
+    let cfg = SystemConfig::scaled_single();
+    let mut t = TextTable::new(vec![
+        "program", "policy", "ipc", "m1frac", "swaps", "rdlat", "stc", "secs",
+    ]);
+    for prog in SpecProgram::ALL {
+        for pk in [
+            PolicyKind::Static,
+            PolicyKind::Pom,
+            PolicyKind::MemPod,
+            PolicyKind::Mdm,
+        ] {
+            let t0 = Instant::now();
+            let r = run_solo(&cfg, pk, prog, target);
+            let p = &r.programs[0];
+            t.row(vec![
+                prog.name().to_string(),
+                r.policy.clone(),
+                format!("{:.3}", p.ipc),
+                format!("{:.3}", p.m1_fraction()),
+                format!("{}", r.swaps),
+                format!("{:.1}", r.avg_read_latency_cycles),
+                format!("{:.3}", r.stc_hit_rate),
+                format!("{:.1}", t0.elapsed().as_secs_f64()),
+            ]);
+        }
+    }
+    println!("{t}");
+}

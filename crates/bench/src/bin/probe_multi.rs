@@ -1,0 +1,66 @@
+//! Calibration probe for the multiprogram shapes (not a paper figure):
+//! runs selected Table 10 workloads under PoM / MDM / ProFess and prints
+//! per-program slowdowns, weighted speedup, unfairness and swap fraction.
+
+use profess_bench::{run_workload, workload_metrics, SoloCache};
+use profess_core::system::PolicyKind;
+use profess_metrics::table::TextTable;
+use profess_trace::workload::workload_by_id;
+use profess_types::SystemConfig;
+use std::time::Instant;
+
+fn main() {
+    let target: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+    let ids: Vec<String> = std::env::args().skip(2).collect();
+    let ids = if ids.is_empty() {
+        vec!["w09".to_string(), "w16".to_string(), "w19".to_string()]
+    } else {
+        ids
+    };
+    let cfg = SystemConfig::scaled_quad();
+    let mut cache = SoloCache::new();
+    let mut t = TextTable::new(vec![
+        "wl", "policy", "sdn0", "sdn1", "sdn2", "sdn3", "wspeed", "unfair", "swap%", "eff", "secs",
+    ]);
+    for id in &ids {
+        let w = workload_by_id(id).expect("known workload id");
+        for pk in [PolicyKind::Pom, PolicyKind::Mdm, PolicyKind::Profess] {
+            let t0 = Instant::now();
+            let solo = cache.solo_ipcs(&cfg, pk, &w, target);
+            let multi = run_workload(&cfg, pk, &w, target);
+            let m = workload_metrics(id, &multi, &solo);
+            if std::env::var_os("PROFESS_VERBOSE").is_some() {
+                for pr in &multi.programs {
+                    eprintln!(
+                        "  {} {}: ipc={:.4} m1frac={:.3} rdlat={:.1} served={}",
+                        multi.policy, pr.name, pr.ipc, pr.m1_fraction(), pr.read_latency_avg, pr.served
+                    );
+                }
+            }
+            if let (Some(g), true) = (multi.diag.guidance, std::env::var_os("PROFESS_VERBOSE").is_some()) {
+                eprintln!(
+                    "{id} {}: guidance help={} protect={} protect3={} default={} sfs={:?}",
+                    multi.policy, g.help_m2, g.protect_m1, g.protect_m1_product, g.default_mdm,
+                    multi.diag.sfs.iter().map(|&(a, b)| (format!("{a:.2}"), format!("{b:.2}"))).collect::<Vec<_>>()
+                );
+            }
+            t.row(vec![
+                id.clone(),
+                multi.policy.clone(),
+                format!("{:.2}", m.slowdowns[0]),
+                format!("{:.2}", m.slowdowns[1]),
+                format!("{:.2}", m.slowdowns[2]),
+                format!("{:.2}", m.slowdowns[3]),
+                format!("{:.3}", m.weighted_speedup),
+                format!("{:.2}", m.unfairness),
+                format!("{:.2}", m.swap_fraction * 100.0),
+                format!("{:.0}", m.energy_efficiency),
+                format!("{:.0}", t0.elapsed().as_secs_f64()),
+            ]);
+        }
+    }
+    println!("{t}");
+}

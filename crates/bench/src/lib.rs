@@ -1,0 +1,301 @@
+//! Shared harness code for the benchmark binaries that regenerate the
+//! paper's tables and figures.
+//!
+//! Each binary in `src/bin/` reproduces one table or figure (see
+//! `DESIGN.md` for the experiment index). This library provides the run
+//! orchestration they share: solo and multiprogram runs, slowdown
+//! computation against per-policy solo references, and normalized-series
+//! printing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use profess_core::system::{PolicyKind, SystemBuilder, SystemReport};
+use profess_metrics::{unfairness, weighted_speedup};
+use profess_trace::{SpecProgram, Workload};
+use profess_types::SystemConfig;
+
+/// Default memory operations per program for single-program experiments.
+pub const SOLO_TARGET_MISSES: u64 = 120_000;
+
+/// Default memory operations per program for multiprogram experiments.
+pub const MULTI_TARGET_MISSES: u64 = 60_000;
+
+/// Reads the per-program memory-operation target: first CLI argument, then
+/// the `PROFESS_TARGET` environment variable, then `default`.
+pub fn target_from_args(default: u64) -> u64 {
+    std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("PROFESS_TARGET").ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Summary statistics of a normalized series (`measured / baseline`).
+#[derive(Debug, Clone, Copy)]
+pub struct NormSummary {
+    /// Geometric mean of the ratios.
+    pub geomean: f64,
+    /// Best ratio (max for >1-is-better metrics, reported as-is).
+    pub best: f64,
+    /// Worst ratio.
+    pub worst: f64,
+}
+
+/// Summarizes a series of ratios.
+///
+/// # Panics
+///
+/// Panics on an empty series.
+pub fn summarize(ratios: &[f64]) -> NormSummary {
+    NormSummary {
+        geomean: profess_metrics::geomean(ratios),
+        best: ratios.iter().copied().fold(f64::MIN, f64::max),
+        worst: ratios.iter().copied().fold(f64::MAX, f64::min),
+    }
+}
+
+/// Runs one program alone (on whatever system `cfg` describes).
+pub fn run_solo(
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    prog: SpecProgram,
+    target_misses: u64,
+) -> SystemReport {
+    SystemBuilder::new(cfg.clone())
+        .policy(policy)
+        .spec_program(prog, prog.budget_for_misses(target_misses))
+        .run()
+}
+
+/// Runs a Table 10 workload on the quad-core system.
+pub fn run_workload(
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    w: &Workload,
+    target_misses: u64,
+) -> SystemReport {
+    SystemBuilder::new(cfg.clone())
+        .policy(policy)
+        .workload(w, target_misses)
+        .run()
+}
+
+/// Results of a multiprogram run reduced to the paper's figures of merit.
+#[derive(Debug, Clone)]
+pub struct WorkloadMetrics {
+    /// Workload id.
+    pub id: String,
+    /// Per-program slowdowns (eq. 1), in core order.
+    pub slowdowns: Vec<f64>,
+    /// Weighted speedup.
+    pub weighted_speedup: f64,
+    /// Max slowdown.
+    pub unfairness: f64,
+    /// Served requests per joule.
+    pub energy_efficiency: f64,
+    /// Mean read latency, cycles.
+    pub read_latency: f64,
+    /// Fraction of swaps among served requests.
+    pub swap_fraction: f64,
+}
+
+/// Computes a workload's metrics given the multiprogram report and the
+/// matching solo (uncontended) IPCs per program, measured under the same
+/// policy (eq. 1).
+pub fn workload_metrics(id: &str, multi: &SystemReport, solo_ipcs: &[f64]) -> WorkloadMetrics {
+    assert_eq!(multi.programs.len(), solo_ipcs.len());
+    let slowdowns: Vec<f64> = multi
+        .programs
+        .iter()
+        .zip(solo_ipcs)
+        .map(|(p, &sp)| profess_metrics::slowdown(sp, p.ipc))
+        .collect();
+    WorkloadMetrics {
+        id: id.to_string(),
+        weighted_speedup: weighted_speedup(&slowdowns),
+        unfairness: unfairness(&slowdowns),
+        energy_efficiency: multi.requests_per_joule,
+        read_latency: multi.avg_read_latency_cycles,
+        swap_fraction: multi.swap_fraction(),
+        slowdowns,
+    }
+}
+
+/// Caches solo IPC references per (policy, program) so workload sweeps do
+/// not repeat identical solo runs.
+#[derive(Debug, Default)]
+pub struct SoloCache {
+    entries: std::collections::HashMap<(&'static str, SpecProgram), f64>,
+}
+
+impl SoloCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the solo IPC of `prog` under `policy` on the quad system,
+    /// running it if not cached.
+    pub fn solo_ipc(
+        &mut self,
+        cfg: &SystemConfig,
+        policy: PolicyKind,
+        prog: SpecProgram,
+        target_misses: u64,
+    ) -> f64 {
+        *self
+            .entries
+            .entry((policy.name(), prog))
+            .or_insert_with(|| run_solo(cfg, policy, prog, target_misses).programs[0].ipc)
+    }
+
+    /// Solo IPCs for every program of a workload.
+    pub fn solo_ipcs(
+        &mut self,
+        cfg: &SystemConfig,
+        policy: PolicyKind,
+        w: &Workload,
+        target_misses: u64,
+    ) -> Vec<f64> {
+        w.programs
+            .iter()
+            .map(|&p| self.solo_ipc(cfg, policy, p, target_misses))
+            .collect()
+    }
+}
+
+/// One row of a normalized multiprogram sweep: `policy` metrics over the
+/// PoM baseline for the same workload.
+#[derive(Debug, Clone)]
+pub struct NormalizedRow {
+    /// Workload id.
+    pub id: String,
+    /// Max-slowdown ratio (policy / PoM; < 1 = fairness improved).
+    pub unfairness: f64,
+    /// Weighted-speedup ratio (> 1 = performance improved).
+    pub weighted_speedup: f64,
+    /// Energy-efficiency ratio (> 1 = improved).
+    pub energy_efficiency: f64,
+    /// Read-latency ratio (< 1 = improved).
+    pub read_latency: f64,
+    /// Swap-fraction ratio (< 1 = fewer swaps per request).
+    pub swap_fraction: f64,
+}
+
+/// Runs every Table 10 workload under `policy` and the PoM baseline and
+/// returns the normalized figures of merit. The solo references for the
+/// slowdowns are measured per policy, as in the paper (eq. 1).
+pub fn normalized_sweep(
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    target_misses: u64,
+) -> Vec<NormalizedRow> {
+    let mut cache = SoloCache::new();
+    let mut rows = Vec::new();
+    for w in profess_trace::workloads() {
+        let base_solo = cache.solo_ipcs(cfg, PolicyKind::Pom, &w, target_misses);
+        let base = workload_metrics(w.id, &run_workload(cfg, PolicyKind::Pom, &w, target_misses), &base_solo);
+        let solo = cache.solo_ipcs(cfg, policy, &w, target_misses);
+        let m = workload_metrics(w.id, &run_workload(cfg, policy, &w, target_misses), &solo);
+        rows.push(NormalizedRow {
+            id: w.id.to_string(),
+            unfairness: m.unfairness / base.unfairness,
+            weighted_speedup: m.weighted_speedup / base.weighted_speedup,
+            energy_efficiency: m.energy_efficiency / base.energy_efficiency,
+            read_latency: m.read_latency / base.read_latency,
+            swap_fraction: m.swap_fraction / base.swap_fraction.max(1e-12),
+        });
+    }
+    rows
+}
+
+/// Prints a normalized sweep as the three paper figures' series plus a
+/// summary line, and returns (unfairness, weighted-speedup, efficiency)
+/// geomeans.
+pub fn print_sweep(title: &str, rows: &[NormalizedRow]) -> (f64, f64, f64) {
+    use profess_metrics::table::TextTable;
+    println!("{title}
+");
+    let mut t = TextTable::new(vec![
+        "workload",
+        "max-slowdown",
+        "weighted-speedup",
+        "energy-eff",
+        "read-lat",
+        "swap-frac",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.id.clone(),
+            format!("{:.3}", r.unfairness),
+            format!("{:.3}", r.weighted_speedup),
+            format!("{:.3}", r.energy_efficiency),
+            format!("{:.3}", r.read_latency),
+            format!("{:.3}", r.swap_fraction),
+        ]);
+    }
+    println!("{t}");
+    let g = |f: fn(&NormalizedRow) -> f64| {
+        profess_metrics::geomean(&rows.iter().map(f).collect::<Vec<_>>())
+    };
+    let (unf, ws, eff) = (
+        g(|r| r.unfairness),
+        g(|r| r.weighted_speedup),
+        g(|r| r.energy_efficiency),
+    );
+    println!(
+        "geomeans: max-slowdown {:+.1}%  weighted-speedup {:+.1}%  energy-eff {:+.1}%  read-lat {:+.1}%  swap-frac {:+.1}%",
+        (unf - 1.0) * 100.0,
+        (ws - 1.0) * 100.0,
+        (eff - 1.0) * 100.0,
+        (g(|r| r.read_latency) - 1.0) * 100.0,
+        (g(|r| r.swap_fraction) - 1.0) * 100.0,
+    );
+    (unf, ws, eff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(ipcs: &[f64]) -> SystemReport {
+        SystemReport {
+            policy: "X".into(),
+            programs: ipcs
+                .iter()
+                .map(|&ipc| profess_core::system::ProgramReport {
+                    name: "p".into(),
+                    instructions: 1000,
+                    core_cycles: 1000,
+                    ipc,
+                    served: 100,
+                    served_from_m1: 50,
+                    read_latency_avg: 10.0,
+                    restarts: 0,
+                })
+                .collect(),
+            elapsed_cycles: 1,
+            total_served: 400,
+            swaps: 40,
+            stc_hit_rate: 0.9,
+            energy_joules: 1.0,
+            requests_per_joule: 400.0,
+            avg_read_latency_cycles: 10.0,
+            row_hit_rate: 0.5,
+            truncated: false,
+            sampling: vec![],
+            diag: Default::default(),
+        }
+    }
+
+    #[test]
+    fn metrics_from_report() {
+        let multi = fake_report(&[1.0, 2.0]);
+        let m = workload_metrics("w01", &multi, &[2.0, 2.0]);
+        assert_eq!(m.slowdowns, vec![2.0, 1.0]);
+        assert!((m.unfairness - 2.0).abs() < 1e-12);
+        assert!((m.weighted_speedup - 1.5).abs() < 1e-12);
+        assert!((m.swap_fraction - 0.1).abs() < 1e-12);
+    }
+}

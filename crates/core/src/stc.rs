@@ -1,0 +1,251 @@
+//! The Swap-group Table Cache (STC).
+//!
+//! An 8-way set-associative on-chip cache of ST entries (paper Figure 1 and
+//! Figure 4). Each cached entry carries, per swap-group location, a 6-bit
+//! saturating Access Counter (AC) and a copy of the location's QAC value at
+//! insertion (`q_i`) — the state MDM needs for its statistics. The paper
+//! stresses that this accurate state is kept *only* for STC-resident
+//! entries, which is exactly what this structure does.
+
+use profess_types::ids::SlotIdx;
+use profess_types::GroupId;
+
+/// Per-entry cached state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedEntry {
+    /// The group this entry translates.
+    pub group: GroupId,
+    /// Saturating access counters, indexed by *original* slot (block
+    /// identity — counters follow blocks across swaps within the group).
+    pub ac: [u32; SlotIdx::MAX],
+    /// QAC value of each block at the time this entry was inserted.
+    pub q_i: [u8; SlotIdx::MAX],
+    /// Set when the underlying ST entry changed (swap or QAC update) and
+    /// must be written back to M1 on eviction.
+    pub dirty: bool,
+    stamp: u64,
+}
+
+impl CachedEntry {
+    fn new(group: GroupId, q_i: [u8; SlotIdx::MAX]) -> Self {
+        CachedEntry {
+            group,
+            ac: [0; SlotIdx::MAX],
+            q_i,
+            dirty: false,
+            stamp: 0,
+        }
+    }
+
+    /// Increments a block's access counter by `weight`, saturating at
+    /// `ac_max`.
+    pub fn bump(&mut self, orig: SlotIdx, weight: u32, ac_max: u32) {
+        let c = &mut self.ac[orig.index()];
+        *c = (*c + weight).min(ac_max);
+    }
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StcStats {
+    /// Lookups.
+    pub lookups: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Evictions of valid entries.
+    pub evictions: u64,
+    /// Evictions that required an ST writeback.
+    pub dirty_evictions: u64,
+}
+
+impl StcStats {
+    /// Hit rate in [0, 1].
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The STC for one channel.
+#[derive(Debug)]
+pub struct Stc {
+    sets: Vec<Vec<CachedEntry>>,
+    ways: usize,
+    set_mask: u64,
+    tick: u64,
+    stats: StcStats,
+}
+
+impl Stc {
+    /// Creates an STC with `entries` total entries and `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a positive power of two.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries % ways == 0);
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "STC set count must be a power of two");
+        Stc {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            set_mask: (sets - 1) as u64,
+            tick: 0,
+            stats: StcStats::default(),
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, group: GroupId) -> usize {
+        // Groups interleave across channels; use the channel-local bits.
+        ((group.0 >> 1) & self.set_mask) as usize
+    }
+
+    /// Looks up a group's entry; counts a hit or miss.
+    pub fn lookup(&mut self, group: GroupId) -> Option<&mut CachedEntry> {
+        self.tick += 1;
+        self.stats.lookups += 1;
+        let tick = self.tick;
+        let set = self.set_of(group);
+        let found = self.sets[set].iter_mut().find(|e| e.group == group);
+        match found {
+            Some(e) => {
+                e.stamp = tick;
+                self.stats.hits += 1;
+                Some(e)
+            }
+            None => None,
+        }
+    }
+
+    /// Accesses an entry without counting statistics (used by the swap and
+    /// bookkeeping paths, which in hardware ride on the original lookup).
+    pub fn peek(&mut self, group: GroupId) -> Option<&mut CachedEntry> {
+        let set = self.set_of(group);
+        self.sets[set].iter_mut().find(|e| e.group == group)
+    }
+
+    /// Inserts an entry for `group` with insertion-time QAC values,
+    /// evicting the LRU entry of the set if needed. Returns the victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group is already cached.
+    pub fn insert(
+        &mut self,
+        group: GroupId,
+        q_i: [u8; SlotIdx::MAX],
+    ) -> Option<CachedEntry> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_of(group);
+        let set = &mut self.sets[set_idx];
+        assert!(
+            !set.iter().any(|e| e.group == group),
+            "group {group} already cached"
+        );
+        let victim = if set.len() == ways {
+            let (i, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .expect("full set");
+            let v = set.swap_remove(i);
+            self.stats.evictions += 1;
+            if v.dirty {
+                self.stats.dirty_evictions += 1;
+            }
+            Some(v)
+        } else {
+            None
+        };
+        let mut e = CachedEntry::new(group, q_i);
+        e.stamp = tick;
+        set.push(e);
+        victim
+    }
+
+    /// Iterates over all currently cached entries.
+    pub fn iter(&self) -> impl Iterator<Item = &CachedEntry> {
+        self.sets.iter().flatten()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &StcStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_insert_hit() {
+        let mut stc = Stc::new(16, 8);
+        let g = GroupId(4);
+        assert!(stc.lookup(g).is_none());
+        stc.insert(g, [0; SlotIdx::MAX]);
+        assert!(stc.lookup(g).is_some());
+        assert_eq!(stc.stats().lookups, 2);
+        assert_eq!(stc.stats().hits, 1);
+        assert!((stc.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_bump_and_saturate() {
+        let mut stc = Stc::new(8, 8);
+        stc.insert(GroupId(0), [0; SlotIdx::MAX]);
+        let e = stc.peek(GroupId(0)).expect("cached");
+        e.bump(SlotIdx(2), 8, 63);
+        e.bump(SlotIdx(2), 60, 63);
+        assert_eq!(e.ac[2], 63);
+        assert_eq!(e.ac[0], 0);
+    }
+
+    #[test]
+    fn lru_eviction_returns_victim() {
+        let mut stc = Stc::new(2, 2); // one set of two ways
+        stc.insert(GroupId(0), [0; SlotIdx::MAX]);
+        stc.insert(GroupId(2), [1; SlotIdx::MAX]);
+        stc.lookup(GroupId(0)); // make 2 the LRU
+        let v = stc.insert(GroupId(4), [0; SlotIdx::MAX]).expect("eviction");
+        assert_eq!(v.group, GroupId(2));
+        assert_eq!(v.q_i, [1; SlotIdx::MAX]);
+        assert_eq!(stc.stats().evictions, 1);
+        assert_eq!(stc.stats().dirty_evictions, 0);
+    }
+
+    #[test]
+    fn dirty_eviction_counted() {
+        let mut stc = Stc::new(2, 2);
+        stc.insert(GroupId(0), [0; SlotIdx::MAX]);
+        stc.peek(GroupId(0)).expect("cached").dirty = true;
+        stc.insert(GroupId(2), [0; SlotIdx::MAX]);
+        let v = stc.insert(GroupId(4), [0; SlotIdx::MAX]).expect("eviction");
+        assert!(v.dirty);
+        assert_eq!(v.group, GroupId(0));
+        assert_eq!(stc.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn consecutive_groups_map_to_same_set_pairwise() {
+        // Groups 2g and 2g+1 (an OS page) share a set index stream the
+        // same way regions pair them.
+        let stc = Stc::new(64, 8);
+        assert_eq!(stc.set_of(GroupId(6)), stc.set_of(GroupId(7)));
+        assert_ne!(stc.set_of(GroupId(6)), stc.set_of(GroupId(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already cached")]
+    fn double_insert_panics() {
+        let mut stc = Stc::new(8, 8);
+        stc.insert(GroupId(1), [0; SlotIdx::MAX]);
+        stc.insert(GroupId(1), [0; SlotIdx::MAX]);
+    }
+}

@@ -1,0 +1,1188 @@
+//! The full-system simulator: cores + page allocation + ST/STC + migration
+//! policy + memory channels.
+//!
+//! Event-driven main loop: at each step the clock jumps to the earliest
+//! next event of any channel or core. Channels report served requests; the
+//! system routes them back to cores, feeds the policy (access counters,
+//! RSM counters, migration decisions), performs swaps, and manages the
+//! STC (misses fetch ST entries from M1, evictions write them back —
+//! modelled as real M1 traffic, as the paper requires).
+//!
+//! Multiprogram methodology (paper §4.2): each program's statistics are
+//! recorded for its first completion; programs that finish early restart
+//! (fresh instance, new seed) to keep contending until the slowest
+//! finishes.
+
+use std::collections::HashMap;
+
+use profess_cpu::{CoreRequest, CoreSim, MemOpKind, OpSource};
+use profess_mem::{AccessKind, ChannelSim, PhysRequest, Served};
+use profess_trace::SpecProgram;
+use profess_types::config::SystemConfig;
+use profess_types::geometry::Geometry;
+use profess_types::ids::{ProgramId, SlotIdx};
+use profess_types::{Cycle, GroupId};
+
+use crate::alloc::FrameAllocator;
+use crate::org::{qac, SwapTable};
+use crate::policies::cameo::CameoPolicy;
+use crate::policies::mdm::MdmPolicy;
+use crate::policies::mempod::MemPodPolicy;
+use crate::policies::pom::PomPolicy;
+use crate::policies::profess::ProfessPolicy;
+use crate::policies::static_::StaticPolicy;
+use crate::policies::{AccessCtx, Decision, EvictRecord, MigrationPolicy};
+use crate::regions::RegionMap;
+use crate::stc::{CachedEntry, Stc};
+
+/// Which migration policy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Never migrate.
+    Static,
+    /// CAMEO-style global threshold of one access.
+    Cameo,
+    /// PoM: competing counters + adaptive global threshold (the paper's
+    /// baseline).
+    Pom,
+    /// MemPod: MEA intervals.
+    MemPod,
+    /// The paper's Migration-Decision Mechanism alone.
+    Mdm,
+    /// The full framework: MDM guided by RSM.
+    Profess,
+    /// ProFess with the Case 3 product rule disabled (ablation).
+    ProfessNoCase3,
+    /// SILC-FM-style: threshold of one access plus lock-above-50
+    /// (Table 2 row 3; not part of the paper's evaluation).
+    SilcFm,
+    /// PoM guided by RSM's Table 7 cases (the paper's §6 suggestion that
+    /// RSM can steer other migration algorithms).
+    RsmPom,
+}
+
+impl PolicyKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Static => "Static",
+            PolicyKind::Cameo => "CAMEO",
+            PolicyKind::Pom => "PoM",
+            PolicyKind::MemPod => "MemPod",
+            PolicyKind::Mdm => "MDM",
+            PolicyKind::Profess => "ProFess",
+            PolicyKind::ProfessNoCase3 => "ProFess-noC3",
+            PolicyKind::SilcFm => "SILC-FM",
+            PolicyKind::RsmPom => "RSM+PoM",
+        }
+    }
+
+    /// Whether this policy uses RSM's private regions (and thus the
+    /// region-aware OS allocator).
+    pub fn uses_private_regions(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Profess | PolicyKind::ProfessNoCase3 | PolicyKind::RsmPom
+        )
+    }
+}
+
+type ProgramFactory = Box<dyn Fn(u32) -> Box<dyn OpSource>>;
+
+/// Per-program results.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Program name (SPEC name or "custom").
+    pub name: String,
+    /// Instructions of the recorded (first) instance.
+    pub instructions: u64,
+    /// Core cycles the recorded instance took.
+    pub core_cycles: u64,
+    /// Instructions per core cycle of the recorded instance.
+    pub ipc: f64,
+    /// Requests served for this program (all instances).
+    pub served: u64,
+    /// Of which served from M1.
+    pub served_from_m1: u64,
+    /// Mean read latency in channel cycles (all instances).
+    pub read_latency_avg: f64,
+    /// Completed instances beyond the first.
+    pub restarts: u32,
+}
+
+impl ProgramReport {
+    /// Fraction of requests served from M1.
+    pub fn m1_fraction(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.served_from_m1 as f64 / self.served as f64
+        }
+    }
+}
+
+/// Per-period sampling diagnostics (Table 4 study).
+#[derive(Debug, Clone)]
+pub struct SamplingReport {
+    /// Mean (over periods) of the per-region request-count standard
+    /// deviation, as a fraction of the per-region mean.
+    pub mean_sigma_req: f64,
+    /// Standard deviation of the raw per-period SF_A estimates.
+    pub sigma_raw_sfa: f64,
+    /// Standard deviation of the smoothed SF_A estimates.
+    pub sigma_avg_sfa: f64,
+    /// Mean raw SF_A.
+    pub mean_raw_sfa: f64,
+    /// Number of completed sampling periods.
+    pub periods: usize,
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Policy name.
+    pub policy: String,
+    /// Per-program results, in core order.
+    pub programs: Vec<ProgramReport>,
+    /// Simulated channel cycles.
+    pub elapsed_cycles: u64,
+    /// Data requests served (reads + writes, excluding ST traffic).
+    pub total_served: u64,
+    /// Block swaps performed.
+    pub swaps: u64,
+    /// STC hit rate across channels.
+    pub stc_hit_rate: f64,
+    /// Total memory-system energy in joules.
+    pub energy_joules: f64,
+    /// Served requests per joule (= requests per second per watt).
+    pub requests_per_joule: f64,
+    /// Mean read latency over data reads, channel cycles.
+    pub avg_read_latency_cycles: f64,
+    /// Row-buffer hit rate at the channels.
+    pub row_hit_rate: f64,
+    /// True if the run hit the safety cycle cap before completing.
+    pub truncated: bool,
+    /// Optional RSM sampling diagnostics per program (Table 4 study).
+    pub sampling: Vec<Option<SamplingReport>>,
+    /// Policy-specific diagnostics (ProFess: guidance stats, SF values).
+    pub diag: crate::policies::PolicyDiagnostics,
+}
+
+impl SystemReport {
+    /// Fraction of swaps among all served requests (paper §5.4 reports
+    /// ProFess reducing this).
+    pub fn swap_fraction(&self) -> f64 {
+        if self.total_served == 0 {
+            0.0
+        } else {
+            self.swaps as f64 / self.total_served as f64
+        }
+    }
+}
+
+/// Builder for a simulation run.
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+    policy: PolicyKind,
+    custom_policy: Option<(Box<dyn MigrationPolicy>, bool)>,
+    programs: Vec<(String, ProgramFactory)>,
+    max_cycles: u64,
+    sample_regions: bool,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("policy", &self.policy)
+            .field("programs", &self.programs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemBuilder {
+    /// Starts a builder with the given configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        SystemBuilder {
+            cfg,
+            policy: PolicyKind::Pom,
+            custom_policy: None,
+            programs: Vec::new(),
+            max_cycles: 2_000_000_000,
+            sample_regions: false,
+        }
+    }
+
+    /// Selects the migration policy.
+    pub fn policy(mut self, p: PolicyKind) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Installs a user-provided migration policy instead of a built-in
+    /// one. `private_regions` selects whether the OS reserves RSM-style
+    /// private regions (needed if the policy consumes region classes).
+    ///
+    /// The paper notes RSM can guide other migration algorithms and MDM
+    /// can serve other organizations; this hook is the extension point.
+    pub fn custom_policy(
+        mut self,
+        policy: Box<dyn MigrationPolicy>,
+        private_regions: bool,
+    ) -> Self {
+        self.custom_policy = Some((policy, private_regions));
+        self
+    }
+
+    /// Caps simulated cycles (safety net; the report flags truncation).
+    pub fn max_cycles(mut self, c: u64) -> Self {
+        self.max_cycles = c;
+        self
+    }
+
+    /// Enables the Table 4 region-sampling diagnostics.
+    pub fn sample_regions(mut self, on: bool) -> Self {
+        self.sample_regions = on;
+        self
+    }
+
+    /// Adds a program from a factory producing a fresh op source per
+    /// instance (argument = restart index).
+    pub fn program(
+        mut self,
+        name: impl Into<String>,
+        factory: impl Fn(u32) -> Box<dyn OpSource> + 'static,
+    ) -> Self {
+        self.programs.push((name.into(), Box::new(factory)));
+        self
+    }
+
+    /// Adds a Table 9 program with the given instruction budget; footprint
+    /// scaling and seeding come from the configuration.
+    pub fn spec_program(self, prog: SpecProgram, instructions: u64) -> Self {
+        let div = self.cfg.footprint_div;
+        let base_seed = self.cfg.seed;
+        let idx = self.programs.len() as u64;
+        self.program(prog.name(), move |restart| {
+            let seed = base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(idx * 1_000_003 + u64::from(restart) * 7_919);
+            Box::new(prog.generator(div, instructions, seed))
+        })
+    }
+
+    /// Adds every program of a Table 10 workload, each sized for roughly
+    /// `target_misses` memory operations.
+    pub fn workload(mut self, w: &profess_trace::Workload, target_misses: u64) -> Self {
+        for p in w.programs {
+            self = self.spec_program(p, p.budget_for_misses(target_misses));
+        }
+        self
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no programs were added or more programs than cores.
+    pub fn run(self) -> SystemReport {
+        assert!(!self.programs.is_empty(), "no programs configured");
+        assert!(
+            self.programs.len() <= self.cfg.cpu.num_cores,
+            "more programs than cores"
+        );
+        System::new(self).run()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Origin {
+    Data {
+        core: usize,
+        seq: u64,
+        is_write: bool,
+        group: GroupId,
+        orig_slot: SlotIdx,
+        from_m1: bool,
+    },
+    StFetch {
+        channel: usize,
+        group: GroupId,
+    },
+    StWrite,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingData {
+    core: usize,
+    seq: u64,
+    is_write: bool,
+    orig_slot: SlotIdx,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CoreStats {
+    served: u64,
+    from_m1: u64,
+    reads: u64,
+    read_lat_sum: u64,
+}
+
+/// Region-sampling instrumentation for the Table 4 study.
+#[derive(Debug)]
+struct RegionSampler {
+    m_samp: u64,
+    num_regions: usize,
+    counts: Vec<u64>,
+    served: u64,
+    sigma_fracs: Vec<f64>,
+}
+
+impl RegionSampler {
+    fn new(m_samp: u64, num_regions: usize) -> Self {
+        RegionSampler {
+            m_samp,
+            num_regions,
+            counts: vec![0; num_regions],
+            served: 0,
+            sigma_fracs: Vec::new(),
+        }
+    }
+
+    fn on_served(&mut self, region: usize) {
+        self.counts[region] += 1;
+        self.served += 1;
+        if self.served >= self.m_samp {
+            let n = self.num_regions as f64;
+            let mean = self.counts.iter().sum::<u64>() as f64 / n;
+            if mean > 0.0 {
+                let var = self
+                    .counts
+                    .iter()
+                    .map(|&c| (c as f64 - mean).powi(2))
+                    .sum::<f64>()
+                    / n;
+                self.sigma_fracs.push(var.sqrt() / mean);
+            }
+            self.counts.iter_mut().for_each(|c| *c = 0);
+            self.served = 0;
+        }
+    }
+}
+
+struct System {
+    cfg: SystemConfig,
+    geom: Geometry,
+    policy_kind: PolicyKind,
+    channels: Vec<ChannelSim>,
+    stcs: Vec<Stc>,
+    st: SwapTable,
+    alloc: FrameAllocator,
+    page_tables: Vec<HashMap<u64, u64>>,
+    cores: Vec<CoreSim>,
+    names: Vec<String>,
+    factories: Vec<ProgramFactory>,
+    restarts: Vec<u32>,
+    first_done: Vec<Option<(u64, u64, f64)>>, // (instructions, core_cycles, ipc)
+    policy: Box<dyn MigrationPolicy>,
+    region_map: RegionMap,
+    meta: HashMap<u64, Origin>,
+    next_token: u64,
+    pending_st: HashMap<GroupId, Vec<PendingData>>,
+    core_stats: Vec<CoreStats>,
+    // Shadow RSM used only for sampling diagnostics (runs under any
+    // policy so Table 4 can be produced with the baseline too).
+    sampler_rsm: Option<crate::policies::rsm::Rsm>,
+    region_samplers: Vec<RegionSampler>,
+    clock: Cycle,
+    max_cycles: u64,
+    truncated: bool,
+}
+
+impl System {
+    fn new(b: SystemBuilder) -> Self {
+        let cfg = b.cfg;
+        let geom = cfg.org.clone();
+        let n_prog = b.programs.len();
+        let custom_private = b.custom_policy.as_ref().map(|&(_, p)| p);
+        let region_map = if custom_private.unwrap_or_else(|| b.policy.uses_private_regions()) {
+            RegionMap::with_private_regions(geom.num_regions, n_prog as u32)
+        } else {
+            RegionMap::all_shared(geom.num_regions)
+        };
+        let alloc = FrameAllocator::new(&geom, region_map.clone(), cfg.seed);
+        let lines_per_block = geom.lines_per_block();
+        let channels: Vec<ChannelSim> = (0..geom.num_channels)
+            .map(|_| {
+                ChannelSim::new(
+                    cfg.mem.clone(),
+                    cfg.energy,
+                    cfg.org.banks_per_module as usize,
+                    lines_per_block,
+                )
+            })
+            .collect();
+        let stcs: Vec<Stc> = (0..geom.num_channels)
+            .map(|_| Stc::new(cfg.stc.entries, cfg.stc.ways))
+            .collect();
+        let k = cfg.mem.pom_k(lines_per_block);
+        let custom = b.custom_policy.map(|(p, _)| p);
+        let policy: Box<dyn MigrationPolicy> = if let Some(p) = custom {
+            p
+        } else {
+            match b.policy {
+            PolicyKind::Static => Box::new(StaticPolicy::new()),
+            PolicyKind::Cameo => Box::new(CameoPolicy::new(cfg.cameo)),
+            PolicyKind::Pom => Box::new(PomPolicy::new(cfg.pom.clone(), k)),
+            PolicyKind::MemPod => {
+                Box::new(MemPodPolicy::new(cfg.mempod, cfg.mem.clock.ns_per_cycle))
+            }
+            PolicyKind::Mdm => Box::new(MdmPolicy::new(cfg.mdm, n_prog)),
+            PolicyKind::Profess => Box::new(ProfessPolicy::new(cfg.mdm, cfg.rsm, n_prog)),
+            PolicyKind::ProfessNoCase3 => {
+                let mut p = ProfessPolicy::new(cfg.mdm, cfg.rsm, n_prog);
+                p.disable_case3();
+                Box::new(p)
+            }
+            PolicyKind::SilcFm => Box::new(
+                crate::policies::silcfm::SilcFmPolicy::new(Default::default()),
+            ),
+            PolicyKind::RsmPom => Box::new(crate::policies::rsm_guided::RsmGuided::new(
+                Box::new(PomPolicy::new(cfg.pom.clone(), k)),
+                cfg.rsm,
+                n_prog,
+                "RSM+PoM",
+            )),
+            }
+        };
+        let mut names = Vec::new();
+        let mut factories: Vec<ProgramFactory> = Vec::new();
+        for (name, f) in b.programs {
+            names.push(name);
+            factories.push(f);
+        }
+        let cores: Vec<CoreSim> = factories
+            .iter()
+            .map(|f| CoreSim::new(&cfg.cpu, &cfg.mem.clock, f(0)))
+            .collect();
+        let sampler_rsm = if b.sample_regions {
+            let mut r = crate::policies::rsm::Rsm::new(cfg.rsm, n_prog);
+            r.keep_samples(true);
+            Some(r)
+        } else {
+            None
+        };
+        let region_samplers = if b.sample_regions {
+            (0..n_prog)
+                .map(|_| RegionSampler::new(cfg.rsm.m_samp, geom.num_regions as usize))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        System {
+            policy_kind: b.policy,
+            st: SwapTable::new(geom.num_groups()),
+            page_tables: vec![HashMap::new(); n_prog],
+            restarts: vec![0; n_prog],
+            first_done: vec![None; n_prog],
+            meta: HashMap::new(),
+            next_token: 0,
+            pending_st: HashMap::new(),
+            core_stats: vec![CoreStats::default(); n_prog],
+            sampler_rsm,
+            region_samplers,
+            clock: Cycle::ZERO,
+            max_cycles: b.max_cycles,
+            truncated: false,
+            cfg,
+            geom,
+            channels,
+            stcs,
+            alloc,
+            cores,
+            names,
+            factories,
+            policy,
+            region_map,
+        }
+    }
+
+    fn token(&mut self, origin: Origin) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.meta.insert(t, origin);
+        t
+    }
+
+    fn block_index(&self, group: GroupId, slot: SlotIdx) -> u64 {
+        u64::from(slot.0) * self.geom.num_groups() + group.0
+    }
+
+    fn owner(&self, group: GroupId, slot: SlotIdx) -> Option<ProgramId> {
+        if u32::from(slot.0) >= self.geom.slots_per_group() {
+            return None;
+        }
+        self.alloc.owner_of_block(self.block_index(group, slot))
+    }
+
+    /// Translates and enqueues a data request whose group is resident in
+    /// the STC (or just fetched).
+    fn issue_data(&mut self, p: PendingData, group: GroupId) {
+        let entry = self.st.entry(group);
+        let actual = entry.actual_of(p.orig_slot);
+        let loc = self.geom.slot_loc(group, actual);
+        let ch = self.geom.channel_of(group).index();
+        let token = self.token(Origin::Data {
+            core: p.core,
+            seq: p.seq,
+            is_write: p.is_write,
+            group,
+            orig_slot: p.orig_slot,
+            from_m1: actual.is_m1(),
+        });
+        let kind = if p.is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let now = self.clock;
+        self.channels[ch].push(PhysRequest { id: token, kind, loc }, now);
+    }
+
+    fn handle_core_request(&mut self, core: usize, r: CoreRequest) {
+        let lines_per_page = self.geom.page_bytes / self.geom.line_bytes;
+        let vpage = r.line / lines_per_page;
+        let program = ProgramId(core as u8);
+        let frame = match self.page_tables[core].get(&vpage) {
+            Some(&f) => f,
+            None => {
+                let f = self
+                    .alloc
+                    .allocate(program, &self.geom)
+                    .unwrap_or_else(|| panic!("out of physical memory for program {core}"));
+                self.page_tables[core].insert(vpage, f);
+                f
+            }
+        };
+        let line_in_page = r.line % lines_per_page;
+        let block_in_page = line_in_page / self.geom.lines_per_block();
+        let orig_block = frame * self.geom.blocks_per_page() + block_in_page;
+        let (group, orig_slot) = self.geom.block_to_group_slot(orig_block);
+        let ch = self.geom.channel_of(group).index();
+        let pending = PendingData {
+            core,
+            seq: r.id,
+            is_write: r.kind == MemOpKind::Store,
+            orig_slot,
+        };
+        if self.stcs[ch].lookup(group).is_some() {
+            self.issue_data(pending, group);
+        } else {
+            let first_miss = !self.pending_st.contains_key(&group);
+            self.pending_st.entry(group).or_default().push(pending);
+            if first_miss {
+                let loc = self.geom.st_entry_loc(group);
+                let token = self.token(Origin::StFetch {
+                    channel: ch,
+                    group,
+                });
+                let now = self.clock;
+                self.channels[ch].push(
+                    PhysRequest {
+                        id: token,
+                        kind: AccessKind::Read,
+                        loc,
+                    },
+                    now,
+                );
+            }
+        }
+    }
+
+    /// Processes an evicted STC entry: QAC write-back, MDM statistics, and
+    /// the ST write to M1.
+    fn finish_eviction(&mut self, victim: CachedEntry, channel: usize) {
+        let mut records = Vec::new();
+        let mut qac_changed = false;
+        for slot in SlotIdx::up_to(self.geom.slots_per_group()) {
+            let count = victim.ac[slot.index()];
+            if count == 0 {
+                continue;
+            }
+            let Some(owner) = self.owner(victim.group, slot) else {
+                continue;
+            };
+            let q_e = qac::quantize(count);
+            let entry = self.st.entry_mut(victim.group);
+            if entry.qac[slot.index()] != q_e {
+                qac_changed = true;
+            }
+            entry.qac[slot.index()] = q_e;
+            records.push(EvictRecord {
+                orig_slot: slot,
+                owner,
+                count,
+                q_i: victim.q_i[slot.index()],
+            });
+        }
+        if !records.is_empty() {
+            self.policy.on_stc_evict(&records);
+        }
+        if victim.dirty || qac_changed {
+            // Read-modify-write of the 8 B entry: the write back to M1.
+            let loc = self.geom.st_entry_loc(victim.group);
+            let token = self.token(Origin::StWrite);
+            let now = self.clock;
+            self.channels[channel].push(
+                PhysRequest {
+                    id: token,
+                    kind: AccessKind::Write,
+                    loc,
+                },
+                now,
+            );
+        }
+    }
+
+    /// Performs a swap promoting `orig_slot` of `group` into M1.
+    fn do_swap(&mut self, group: GroupId, orig_slot: SlotIdx, mark_dirty: bool) {
+        let ch = self.geom.channel_of(group).index();
+        let (actual, m1_res) = {
+            let e = self.st.entry(group);
+            (e.actual_of(orig_slot), e.resident_of(SlotIdx::M1))
+        };
+        debug_assert!(actual.is_m2());
+        let m1_loc = self.geom.slot_loc(group, SlotIdx::M1);
+        let m2_loc = self.geom.slot_loc(group, actual);
+        let now = self.clock;
+        self.channels[ch].begin_swap(now, m1_loc, m2_loc);
+        let promoted_owner = self
+            .owner(group, orig_slot)
+            .expect("accessed block must be allocated");
+        let demoted_owner = self.owner(group, m1_res);
+        {
+            let e = self.st.entry_mut(group);
+            e.swap(orig_slot, m1_res);
+            e.m1_owner = Some(promoted_owner);
+        }
+        if mark_dirty {
+            if let Some(e) = self.stcs[ch].peek(group) {
+                e.dirty = true;
+            }
+        }
+        let group_is_private = self
+            .region_map
+            .owner_of_region(self.geom.region_of(group))
+            .is_some();
+        self.policy
+            .on_swap(promoted_owner, demoted_owner, group_is_private);
+    }
+
+    fn handle_served(&mut self, s: Served) {
+        let origin = self
+            .meta
+            .remove(&s.id)
+            .expect("completion for unknown token");
+        match origin {
+            Origin::StWrite => {}
+            Origin::StFetch { channel, group } => {
+                let q_i = self.st.entry(group).qac;
+                if let Some(victim) = self.stcs[channel].insert(group, q_i) {
+                    self.finish_eviction(victim, channel);
+                }
+                if let Some(waiters) = self.pending_st.remove(&group) {
+                    for p in waiters {
+                        self.issue_data(p, group);
+                    }
+                }
+            }
+            Origin::Data {
+                core,
+                seq,
+                is_write,
+                group,
+                orig_slot,
+                from_m1,
+            } => {
+                let program = ProgramId(core as u8);
+                {
+                    let st = &mut self.core_stats[core];
+                    st.served += 1;
+                    if from_m1 {
+                        st.from_m1 += 1;
+                    }
+                    if !is_write {
+                        st.reads += 1;
+                        st.read_lat_sum += s.latency();
+                    }
+                }
+                self.cores[core].complete(seq, s.done);
+                let class = self.region_map.classify(&self.geom, program, group);
+                self.policy.on_served(program, class, from_m1);
+                if let Some(rsm) = &mut self.sampler_rsm {
+                    rsm.on_served(program, class, from_m1);
+                }
+                if !self.region_samplers.is_empty() {
+                    let region = self.geom.region_of(group).index();
+                    self.region_samplers[core].on_served(region);
+                }
+                // Access counting and migration decision require the ST
+                // entry to be STC-resident (paper §3.2.1's temporal
+                // filter); it can have been evicted since issue.
+                let ch = self.geom.channel_of(group).index();
+                let w = if is_write {
+                    self.policy.write_weight()
+                } else {
+                    1
+                };
+                let ac_max = self.cfg.mdm.ac_max;
+                let Some(entry) = self.stcs[ch].peek(group) else {
+                    return;
+                };
+                entry.bump(orig_slot, w, ac_max);
+                let entry_snapshot: &CachedEntry = &entry.clone();
+                let st_entry = self.st.entry_mut(group);
+                let actual_slot = st_entry.actual_of(orig_slot);
+                let m1_resident = st_entry.resident_of(SlotIdx::M1);
+                let m1_owner_slot_block =
+                    u64::from(m1_resident.0) * self.geom.num_groups() + group.0;
+                let m1_owner = self.alloc.owner_of_block(m1_owner_slot_block);
+                let mut ctx = AccessCtx {
+                    group,
+                    orig_slot,
+                    actual_slot,
+                    program,
+                    is_write,
+                    now: self.clock,
+                    entry: entry_snapshot,
+                    st_entry,
+                    m1_resident,
+                    m1_owner,
+                };
+                let decision = self.policy.on_access(&mut ctx);
+                if decision == Decision::Promote && actual_slot.is_m2() {
+                    let mark_dirty = self.policy_kind != PolicyKind::MemPod;
+                    self.do_swap(group, orig_slot, mark_dirty);
+                }
+            }
+        }
+    }
+
+    /// MemPod interval migrations.
+    fn run_poll(&mut self) {
+        if self.policy.next_poll().is_none() {
+            return;
+        }
+        let now = self.clock;
+        let migrations = self.policy.poll(now);
+        for (group, orig_slot) in migrations {
+            let still_m2 = self.st.entry(group).actual_of(orig_slot).is_m2();
+            if still_m2 && self.owner(group, orig_slot).is_some() {
+                // MemPod's ST-update overhead is ignored (paper §4.1).
+                self.do_swap(group, orig_slot, false);
+            }
+        }
+    }
+
+    fn all_first_done(&self) -> bool {
+        self.first_done.iter().all(|d| d.is_some())
+    }
+
+    fn run(mut self) -> SystemReport {
+        let mut served_buf: Vec<Served> = Vec::new();
+        let mut out_reqs: Vec<CoreRequest> = Vec::new();
+        loop {
+            // 1. Channels catch up; completions collected.
+            for ch in &mut self.channels {
+                ch.advance(self.clock, &mut served_buf);
+            }
+            served_buf.sort_by_key(|s| (s.done, s.id));
+            for s in std::mem::take(&mut served_buf) {
+                self.handle_served(s);
+            }
+            // 2. Interval-based policies.
+            self.run_poll();
+            // 3. Cores execute; new requests routed.
+            for i in 0..self.cores.len() {
+                debug_assert!(out_reqs.is_empty());
+                let now = self.clock;
+                self.cores[i].advance(now, &mut out_reqs);
+                for r in std::mem::take(&mut out_reqs) {
+                    self.handle_core_request(i, r);
+                }
+            }
+            // 4. Completions / restarts.
+            for i in 0..self.cores.len() {
+                if self.cores[i].is_finished() {
+                    if self.first_done[i].is_none() {
+                        self.first_done[i] = Some((
+                            self.cores[i].instructions(),
+                            self.cores[i].instance_core_cycles(),
+                            self.cores[i].ipc(),
+                        ));
+                    }
+                    if !self.all_first_done() {
+                        self.restarts[i] += 1;
+                        let source = (self.factories[i])(self.restarts[i]);
+                        self.cores[i].restart(source);
+                    }
+                }
+            }
+            if self.all_first_done() {
+                break;
+            }
+            // 5. Next event.
+            let mut t = Cycle::NEVER;
+            for ch in &self.channels {
+                t = t.min(ch.next_event(self.clock));
+            }
+            for c in &self.cores {
+                t = t.min(c.next_event(self.clock));
+            }
+            if let Some(p) = self.policy.next_poll() {
+                t = t.min(p.max(self.clock + 1));
+            }
+            assert!(
+                t < Cycle::NEVER,
+                "simulation deadlock at cycle {} (pending ST: {}, tokens: {})",
+                self.clock,
+                self.pending_st.len(),
+                self.meta.len()
+            );
+            self.clock = t;
+            if self.clock.raw() > self.max_cycles {
+                self.truncated = true;
+                eprintln!(
+                    "[profess-core] truncated at cycle {}: pending_st={} tokens={} \
+                     queues={:?} core_waits={:?}",
+                    self.clock,
+                    self.pending_st.len(),
+                    self.meta.len(),
+                    self.channels.iter().map(|c| c.queue_len()).collect::<Vec<_>>(),
+                    self.cores.iter().map(|c| c.wait_state()).collect::<Vec<_>>()
+                );
+                for ch in &self.channels {
+                    eprintln!("  queue: {:?}", ch.debug_queue(self.clock));
+                    eprintln!("  m1 banks: {:?}", ch.debug_banks(profess_types::geometry::Module::M1));
+                }
+                break;
+            }
+        }
+        self.report()
+    }
+
+    fn report(self) -> SystemReport {
+        let elapsed = self.clock;
+        let mut programs = Vec::new();
+        for i in 0..self.cores.len() {
+            let (instructions, core_cycles, ipc) = self.first_done[i].unwrap_or((
+                self.cores[i].instructions(),
+                self.cores[i].instance_core_cycles(),
+                self.cores[i].ipc(),
+            ));
+            let st = &self.core_stats[i];
+            programs.push(ProgramReport {
+                name: self.names[i].clone(),
+                instructions,
+                core_cycles,
+                ipc,
+                served: st.served,
+                served_from_m1: st.from_m1,
+                read_latency_avg: if st.reads == 0 {
+                    0.0
+                } else {
+                    st.read_lat_sum as f64 / st.reads as f64
+                },
+                restarts: self.restarts[i],
+            });
+        }
+        let total_served: u64 = self.core_stats.iter().map(|s| s.served).sum();
+        let mut swaps = 0;
+        let mut energy = 0.0;
+        let mut lookups = 0;
+        let mut hits = 0;
+        let mut reads = 0;
+        let mut lat_sum = 0;
+        let mut row_hits = 0;
+        let mut channel_served = 0;
+        for (ch, stc) in self.channels.iter().zip(&self.stcs) {
+            swaps += ch.stats().swaps;
+            energy += ch.energy_joules(elapsed);
+            lookups += stc.stats().lookups;
+            hits += stc.stats().hits;
+            reads += ch.stats().reads_served;
+            lat_sum += ch.stats().read_latency_sum;
+            row_hits += ch.stats().row_hits;
+            channel_served += ch.stats().total_served();
+        }
+        let sampling: Vec<Option<SamplingReport>> = if let Some(rsm) = &self.sampler_rsm {
+            (0..self.cores.len())
+                .map(|i| {
+                    let samples = rsm.samples(ProgramId(i as u8));
+                    if samples.is_empty() {
+                        return None;
+                    }
+                    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+                    let std = |xs: &[f64]| {
+                        let m = mean(xs);
+                        (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+                            .sqrt()
+                    };
+                    let raw: Vec<f64> = samples.iter().map(|s| s.raw_sf_a).collect();
+                    let avg: Vec<f64> = samples.iter().map(|s| s.avg_sf_a).collect();
+                    let sr = &self.region_samplers[i];
+                    Some(SamplingReport {
+                        mean_sigma_req: if sr.sigma_fracs.is_empty() {
+                            0.0
+                        } else {
+                            mean(&sr.sigma_fracs)
+                        },
+                        sigma_raw_sfa: std(&raw),
+                        sigma_avg_sfa: std(&avg),
+                        mean_raw_sfa: mean(&raw),
+                        periods: samples.len(),
+                    })
+                })
+                .collect()
+        } else {
+            vec![None; self.cores.len()]
+        };
+        SystemReport {
+            policy: self.policy.name().to_string(),
+            programs,
+            elapsed_cycles: elapsed.raw(),
+            total_served,
+            swaps,
+            stc_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            energy_joules: energy,
+            requests_per_joule: if energy > 0.0 {
+                total_served as f64 / energy
+            } else {
+                0.0
+            },
+            avg_read_latency_cycles: if reads == 0 {
+                0.0
+            } else {
+                lat_sum as f64 / reads as f64
+            },
+            row_hit_rate: if channel_served == 0 {
+                0.0
+            } else {
+                row_hits as f64 / channel_served as f64
+            },
+            truncated: self.truncated,
+            sampling,
+            diag: self.policy.diagnostics(),
+        }
+    }
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("clock", &self.clock)
+            .field("cores", &self.cores.len())
+            .field("policy", &self.policy.name())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use profess_cpu::MemOp;
+
+    fn tiny_cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::scaled_single();
+        cfg.rsm.m_samp = 256;
+        cfg.pom.epoch_requests = 512;
+        cfg
+    }
+
+    fn scripted_stream(n: u64, stride: u64, gap: u32) -> impl Fn(u32) -> Box<dyn OpSource> {
+        scripted(n, stride, gap, false)
+    }
+
+    fn scripted(
+        n: u64,
+        stride: u64,
+        gap: u32,
+        dependent: bool,
+    ) -> impl Fn(u32) -> Box<dyn OpSource> {
+        move |_restart| {
+            let mut i = 0u64;
+            Box::new(move || {
+                if i >= n {
+                    return None;
+                }
+                let line = (i * stride) % 4096;
+                i += 1;
+                Some(MemOp {
+                    gap,
+                    kind: MemOpKind::Load,
+                    line,
+                    dependent,
+                })
+            })
+        }
+    }
+
+    /// A dependent pointer chase over a small hot set (4096 lines = 128
+    /// blocks), scrambled so consecutive accesses miss the row buffer:
+    /// the access pattern where residency in M1 matters most.
+    fn scripted_chase(n: u64, gap: u32) -> impl Fn(u32) -> Box<dyn OpSource> {
+        move |_restart| {
+            let mut i = 0u64;
+            let mut x = 0x2545_F491u64;
+            Box::new(move || {
+                if i >= n {
+                    return None;
+                }
+                i += 1;
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Some(MemOp {
+                    gap,
+                    kind: MemOpKind::Load,
+                    line: (x >> 33) % 4096,
+                    dependent: true,
+                })
+            })
+        }
+    }
+
+    #[test]
+    fn static_policy_runs_to_completion() {
+        let report = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Static)
+            .program("stream", scripted_stream(2000, 1, 30))
+            .run();
+        assert!(!report.truncated);
+        assert_eq!(report.swaps, 0, "static policy must never swap");
+        assert_eq!(report.programs.len(), 1);
+        let p = &report.programs[0];
+        assert!(p.ipc > 0.0 && p.ipc <= 4.0);
+        assert!(p.served >= 2000);
+        assert!(report.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn cameo_swaps_aggressively() {
+        let report = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Cameo)
+            .program("stream", scripted_stream(2000, 1, 30))
+            .run();
+        assert!(report.swaps > 0, "CAMEO must swap on M2 touches");
+    }
+
+    #[test]
+    fn migration_improves_m1_fraction_for_hot_stream() {
+        // A small, heavily reused working set of dependent loads (latency
+        // fully exposed): migration should raise the fraction of requests
+        // served from M1 well above the static ~1/9 and improve IPC.
+        let static_run = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Static)
+            .program("hot", scripted_chase(20_000, 10))
+            .run();
+        let mdm_run = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Mdm)
+            .program("hot", scripted_chase(20_000, 10))
+            .run();
+        let f_static = static_run.programs[0].m1_fraction();
+        let f_mdm = mdm_run.programs[0].m1_fraction();
+        assert!(
+            f_mdm > f_static + 0.2,
+            "MDM must serve more from M1: {f_mdm} vs {f_static}"
+        );
+        assert!(
+            mdm_run.programs[0].ipc > static_run.programs[0].ipc,
+            "MDM must beat no-migration on a hot stream: {} vs {}",
+            mdm_run.programs[0].ipc,
+            static_run.programs[0].ipc
+        );
+    }
+
+    #[test]
+    fn multiprogram_restarts_faster_programs() {
+        let mut cfg = SystemConfig::scaled_quad();
+        cfg.rsm.m_samp = 256;
+        let report = SystemBuilder::new(cfg)
+            .policy(PolicyKind::Pom)
+            .program("short", scripted_stream(500, 1, 10))
+            .program("long", scripted_stream(20_000, 3, 10))
+            .run();
+        assert!(!report.truncated);
+        assert!(
+            report.programs[0].restarts > 0,
+            "short program should restart while the long one runs"
+        );
+        assert_eq!(report.programs[1].restarts, 0);
+    }
+
+    #[test]
+    fn profess_uses_private_regions() {
+        let mut cfg = SystemConfig::scaled_quad();
+        cfg.rsm.m_samp = 128;
+        let report = SystemBuilder::new(cfg)
+            .policy(PolicyKind::Profess)
+            .program("a", scripted_stream(3000, 1, 20))
+            .program("b", scripted_stream(3000, 7, 20))
+            .run();
+        assert!(!report.truncated);
+        assert_eq!(report.programs.len(), 2);
+        assert!(report.total_served > 6000);
+    }
+
+    #[test]
+    fn mempod_polls_and_migrates() {
+        let report = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::MemPod)
+            .program("hot", scripted_stream(20_000, 1, 10))
+            .run();
+        assert!(report.swaps > 0, "MemPod should migrate hot blocks");
+    }
+
+    #[test]
+    fn sampling_report_available_when_enabled() {
+        let mut cfg = tiny_cfg();
+        cfg.rsm.m_samp = 128;
+        let report = SystemBuilder::new(cfg)
+            .policy(PolicyKind::Pom)
+            .sample_regions(true)
+            .program("stream", scripted_stream(5000, 1, 20))
+            .run();
+        let s = report.sampling[0].as_ref().expect("sampling enabled");
+        assert!(s.periods > 1);
+        assert!(s.mean_sigma_req >= 0.0);
+    }
+
+    #[test]
+    fn spec_program_runs_end_to_end() {
+        let mut cfg = SystemConfig::scaled_single();
+        cfg.rsm.m_samp = 512;
+        let report = SystemBuilder::new(cfg)
+            .policy(PolicyKind::Profess)
+            .spec_program(SpecProgram::Libquantum, 50_000)
+            .run();
+        assert!(!report.truncated);
+        assert!(report.programs[0].instructions >= 50_000);
+        assert!(report.stc_hit_rate > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no programs")]
+    fn empty_builder_panics() {
+        let _ = SystemBuilder::new(tiny_cfg()).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "more programs than cores")]
+    fn too_many_programs_panics() {
+        let _ = SystemBuilder::new(tiny_cfg())
+            .program("a", scripted_stream(10, 1, 1))
+            .program("b", scripted_stream(10, 1, 1))
+            .run();
+    }
+}

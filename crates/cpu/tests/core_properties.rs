@@ -1,0 +1,166 @@
+//! Property tests of the core model: instruction accounting, IPC bounds,
+//! and liveness under random op streams served by a random-latency
+//! memory.
+
+use proptest::prelude::*;
+use profess_cpu::{CoreSim, MemOp, MemOpKind, OpSource, WaitState};
+use profess_types::clock::ClockSpec;
+use profess_types::config::CpuConfig;
+use profess_types::Cycle;
+
+fn cfg() -> CpuConfig {
+    CpuConfig {
+        num_cores: 1,
+        rob: 64,
+        width: 4,
+        mshrs: 8,
+        write_buffer: 16,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpSpec {
+    gap: u8,
+    store: bool,
+    dependent: bool,
+    latency: u8,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<OpSpec>> {
+    proptest::collection::vec(
+        (0u8..40, any::<bool>(), any::<bool>(), 1u8..200).prop_map(
+            |(gap, store, dependent, latency)| OpSpec {
+                gap,
+                store,
+                dependent,
+                latency,
+            },
+        ),
+        1..80,
+    )
+}
+
+struct Scripted {
+    ops: Vec<MemOp>,
+    i: usize,
+}
+
+impl OpSource for Scripted {
+    fn next_op(&mut self) -> Option<MemOp> {
+        let op = self.ops.get(self.i).copied();
+        self.i += 1;
+        op
+    }
+}
+
+/// Runs the core against per-request latencies; returns (instructions,
+/// finish cycle, requests issued).
+fn run(specs: &[OpSpec]) -> (u64, Cycle, usize) {
+    let ops: Vec<MemOp> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| MemOp {
+            gap: u32::from(s.gap),
+            kind: if s.store {
+                MemOpKind::Store
+            } else {
+                MemOpKind::Load
+            },
+            line: i as u64,
+            dependent: s.dependent && !s.store,
+        })
+        .collect();
+    let clock = ClockSpec::paper();
+    let mut core = CoreSim::new(&cfg(), &clock, Box::new(Scripted { ops, i: 0 }));
+    let mut pending: Vec<(Cycle, u64)> = Vec::new();
+    let mut now = Cycle(0);
+    let mut issued = 0usize;
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        assert!(guard < 2_000_000, "core stuck");
+        let mut out = Vec::new();
+        core.advance(now, &mut out);
+        for r in out {
+            // Latency keyed by the op order (line encodes the index).
+            let lat = u64::from(specs[r.line as usize].latency);
+            pending.push((now + lat, r.id));
+            issued += 1;
+        }
+        if core.is_finished() {
+            break;
+        }
+        let mut next = core.next_event(now);
+        for &(d, _) in &pending {
+            next = next.min(d);
+        }
+        assert!(
+            next < Cycle::NEVER,
+            "deadlock: core waits but no memory pending (state {:?})",
+            core.wait_state()
+        );
+        now = next.max(now + 1);
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= now {
+                let (at, id) = pending.swap_remove(i);
+                core.complete(id, at);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    (core.instructions(), now, issued)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn instruction_accounting_and_liveness(specs in ops_strategy()) {
+        let (instructions, finish, issued) = run(&specs);
+        let expected: u64 = specs.iter().map(|s| u64::from(s.gap) + 1).sum();
+        prop_assert_eq!(instructions, expected);
+        prop_assert_eq!(issued, specs.len());
+        prop_assert!(finish > Cycle::ZERO);
+    }
+
+    #[test]
+    fn ipc_never_exceeds_width(specs in ops_strategy()) {
+        let ops: Vec<MemOp> = specs.iter().enumerate().map(|(i, s)| MemOp {
+            gap: u32::from(s.gap),
+            kind: if s.store { MemOpKind::Store } else { MemOpKind::Load },
+            line: i as u64,
+            dependent: false,
+        }).collect();
+        let clock = ClockSpec::paper();
+        let mut core = CoreSim::new(&cfg(), &clock, Box::new(Scripted { ops, i: 0 }));
+        // Instant memory: complete every request immediately.
+        let mut now = Cycle(0);
+        let mut guard = 0;
+        while !core.is_finished() {
+            guard += 1;
+            prop_assert!(guard < 1_000_000);
+            let mut out = Vec::new();
+            core.advance(now, &mut out);
+            for r in out {
+                core.complete(r.id, now);
+            }
+            if matches!(core.wait_state(), WaitState::Finished) {
+                break;
+            }
+            now = core.next_event(now).max(now + 1).min(now + 1_000);
+        }
+        prop_assert!(core.ipc() <= 4.0 + 1e-9, "ipc {}", core.ipc());
+        prop_assert!(core.ipc() > 0.0);
+    }
+
+    #[test]
+    fn slower_memory_never_finishes_earlier(specs in ops_strategy()) {
+        let fast: Vec<OpSpec> = specs.iter().cloned().map(|mut s| { s.latency = 1; s }).collect();
+        let slow: Vec<OpSpec> = specs.iter().cloned().map(|mut s| { s.latency = 200; s }).collect();
+        let (_, t_fast, _) = run(&fast);
+        let (_, t_slow, _) = run(&slow);
+        prop_assert!(t_slow >= t_fast, "slow {} < fast {}", t_slow, t_fast);
+    }
+}

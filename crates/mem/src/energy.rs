@@ -1,0 +1,96 @@
+//! Operation-count energy accounting (figures 12 and 15 of the paper use
+//! memory-system energy efficiency: requests served per second per watt,
+//! which equals requests per joule).
+
+use profess_types::config::EnergyConfig;
+
+/// Counts of energy-relevant events on one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyCounters {
+    /// M1 row activations.
+    pub m1_acts: u64,
+    /// M1 64 B read bursts.
+    pub m1_reads: u64,
+    /// M1 64 B write bursts.
+    pub m1_writes: u64,
+    /// M2 row activations (array reads).
+    pub m2_acts: u64,
+    /// M2 64 B read bursts.
+    pub m2_reads: u64,
+    /// M2 64 B write bursts.
+    pub m2_writes: u64,
+    /// M1 all-bank refresh operations.
+    pub m1_refreshes: u64,
+}
+
+impl EnergyCounters {
+    /// Sums another channel's counters into this one.
+    pub fn merge(&mut self, other: &EnergyCounters) {
+        self.m1_acts += other.m1_acts;
+        self.m1_reads += other.m1_reads;
+        self.m1_writes += other.m1_writes;
+        self.m2_acts += other.m2_acts;
+        self.m2_reads += other.m2_reads;
+        self.m2_writes += other.m2_writes;
+        self.m1_refreshes += other.m1_refreshes;
+    }
+
+    /// Total dynamic energy in joules under `cfg`.
+    pub fn dynamic_joules(&self, cfg: &EnergyConfig) -> f64 {
+        let pj = self.m1_acts as f64 * cfg.m1_act_pj
+            + self.m1_reads as f64 * cfg.m1_read_pj
+            + self.m1_writes as f64 * cfg.m1_write_pj
+            + self.m2_acts as f64 * cfg.m2_act_pj
+            + self.m2_reads as f64 * cfg.m2_read_pj
+            + self.m2_writes as f64 * cfg.m2_write_pj
+            + self.m1_refreshes as f64 * cfg.m1_refresh_pj;
+        pj * 1e-12
+    }
+
+    /// Total energy (dynamic + background) in joules for one channel over
+    /// `elapsed_ns` of simulated time.
+    pub fn total_joules(&self, cfg: &EnergyConfig, elapsed_ns: f64) -> f64 {
+        let background_w = (cfg.m1_background_mw + cfg.m2_background_mw) * 1e-3;
+        self.dynamic_joules(cfg) + background_w * elapsed_ns * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_accumulates() {
+        let cfg = EnergyConfig::default_values();
+        let mut a = EnergyCounters {
+            m1_reads: 10,
+            ..Default::default()
+        };
+        let b = EnergyCounters {
+            m2_writes: 5,
+            m1_reads: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.m1_reads, 12);
+        assert_eq!(a.m2_writes, 5);
+        let dynamic = a.dynamic_joules(&cfg);
+        let expected = (12.0 * cfg.m1_read_pj + 5.0 * cfg.m2_write_pj) * 1e-12;
+        assert!((dynamic - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn background_scales_with_time() {
+        let cfg = EnergyConfig::default_values();
+        let e = EnergyCounters::default();
+        let one_sec = e.total_joules(&cfg, 1e9);
+        // 210 mW for one second = 0.21 J.
+        assert!((one_sec - 0.21).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvm_writes_dominate() {
+        let cfg = EnergyConfig::default_values();
+        assert!(cfg.m2_write_pj > 5.0 * cfg.m1_write_pj);
+    }
+}

@@ -1,0 +1,91 @@
+//! Channel-level micro statistics.
+
+/// Aggregated statistics of one memory channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Reads served (data bursts delivered).
+    pub reads_served: u64,
+    /// Writes served.
+    pub writes_served: u64,
+    /// Row-buffer hits among served requests.
+    pub row_hits: u64,
+    /// Sum of read latencies (enqueue → data) in channel cycles.
+    pub read_latency_sum: u64,
+    /// Block swaps performed.
+    pub swaps: u64,
+    /// Cycles the channel was blocked by swaps.
+    pub swap_busy_cycles: u64,
+    /// M1 refresh operations issued.
+    pub refreshes: u64,
+}
+
+impl ChannelStats {
+    /// Total requests served.
+    pub fn total_served(&self) -> u64 {
+        self.reads_served + self.writes_served
+    }
+
+    /// Mean read latency in channel cycles (0 if no reads).
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_served == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_served as f64
+        }
+    }
+
+    /// Row-buffer hit rate over all served requests.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.total_served();
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Sums another channel's statistics into this one.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.reads_served += other.reads_served;
+        self.writes_served += other.writes_served;
+        self.row_hits += other.row_hits;
+        self.read_latency_sum += other.read_latency_sum;
+        self.swaps += other.swaps;
+        self.swap_busy_cycles += other.swap_busy_cycles;
+        self.refreshes += other.refreshes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_zero() {
+        let s = ChannelStats::default();
+        assert_eq!(s.avg_read_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ChannelStats {
+            reads_served: 10,
+            read_latency_sum: 500,
+            row_hits: 6,
+            ..Default::default()
+        };
+        let b = ChannelStats {
+            reads_served: 10,
+            writes_served: 4,
+            read_latency_sum: 300,
+            row_hits: 2,
+            swaps: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.total_served(), 24);
+        assert_eq!(a.avg_read_latency(), 40.0);
+        assert!((a.row_hit_rate() - 8.0 / 24.0).abs() < 1e-12);
+    }
+}

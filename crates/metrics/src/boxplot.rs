@@ -1,0 +1,142 @@
+//! Tukey box-plot summaries (paper Figure 5 reports results as a box plot
+//! with quartiles, whiskers, outliers, median and geometric mean, per the paper's citation of Tukey).
+
+/// A five-number summary plus outliers and the geometric mean.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxPlot {
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lower whisker (smallest value within 1.5 IQR of Q1).
+    pub whisker_lo: f64,
+    /// Upper whisker (largest value within 1.5 IQR of Q3).
+    pub whisker_hi: f64,
+    /// Values beyond the whiskers.
+    pub outliers: Vec<f64>,
+    /// Geometric mean of all values.
+    pub geomean: f64,
+}
+
+/// Linear-interpolation quantile of sorted data.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+impl BoxPlot {
+    /// Summarizes a data set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or non-positive values (the geometric mean
+    /// requires positive data; the paper's normalized metrics always are).
+    pub fn from_values(values: &[f64]) -> BoxPlot {
+        assert!(!values.is_empty(), "empty data set");
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q1 = quantile(&sorted, 0.25);
+        let median = quantile(&sorted, 0.5);
+        let q3 = quantile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers extend from the box: with interpolated quartiles the
+        // nearest in-fence data point can fall inside the box, so clamp.
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&v| v >= lo_fence)
+            .expect("non-empty")
+            .min(q1);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| v <= hi_fence)
+            .expect("non-empty")
+            .max(q3);
+        let outliers = sorted
+            .iter()
+            .copied()
+            .filter(|&v| v < lo_fence || v > hi_fence)
+            .collect();
+        BoxPlot {
+            q1,
+            median,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+            geomean: crate::geomean(&sorted),
+        }
+    }
+}
+
+impl std::fmt::Display for BoxPlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.3} |{:.3} {:.3} {:.3}| {:.3}] gmean {:.3} ({} outliers)",
+            self.whisker_lo,
+            self.q1,
+            self.median,
+            self.q3,
+            self.whisker_hi,
+            self.geomean,
+            self.outliers.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_quartiles() {
+        let b = BoxPlot::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((b.q1 - 2.0).abs() < 1e-12);
+        assert!((b.median - 3.0).abs() < 1e-12);
+        assert!((b.q3 - 4.0).abs() < 1e-12);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 5.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn detects_outliers() {
+        let b = BoxPlot::from_values(&[1.0, 1.1, 1.2, 1.3, 1.4, 10.0]);
+        assert_eq!(b.outliers, vec![10.0]);
+        assert!(b.whisker_hi < 10.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let b = BoxPlot::from_values(&[2.5]);
+        assert_eq!(b.median, 2.5);
+        assert_eq!(b.geomean, 2.5);
+    }
+
+    #[test]
+    fn display_renders() {
+        let b = BoxPlot::from_values(&[1.0, 2.0, 3.0]);
+        let s = b.to_string();
+        assert!(s.contains("gmean"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        BoxPlot::from_values(&[]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Synthetic SPEC-CPU2006-like workload models.
+//!
+//! The paper drives its simulator with 500 M-instruction SimPoints of ten
+//! SPEC CPU2006 programs (Table 9). This crate substitutes parameterised
+//! synthetic program models that reproduce the properties the evaluated
+//! policies actually observe: post-L3 request rate (MPKI), footprint,
+//! write fraction, block-level reuse skew, spatial locality, and
+//! memory-level parallelism (dependence chains).
+//!
+//! * [`patterns`] — address-stream generators (streaming, strided, pointer
+//!   chasing, Zipfian hot spots, mixes, phase drift);
+//! * [`program`] — the [`program::ProgramGen`] op source combining a
+//!   pattern with MPKI-derived gaps and a write fraction;
+//! * [`spec`] — the ten Table 9 programs as model parameter sets;
+//! * [`workload`] — the nineteen Table 10 multiprogrammed mixes;
+//! * [`record`] — trace capture and replay for repeatable A/B studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use profess_cpu::OpSource;
+//! use profess_trace::spec::SpecProgram;
+//!
+//! // A bwaves-like stream, footprint scaled by 32, 10 000 instructions.
+//! let mut gen = SpecProgram::Bwaves.generator(32, 10_000, 7);
+//! let mut ops = 0;
+//! while let Some(_op) = gen.next_op() {
+//!     ops += 1;
+//! }
+//! assert!(ops > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod patterns;
+pub mod program;
+pub mod record;
+pub mod spec;
+pub mod workload;
+
+pub use program::{ProgramGen, ProgramParams};
+pub use spec::SpecProgram;
+pub use workload::{workloads, Workload};

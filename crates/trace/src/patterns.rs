@@ -1,0 +1,436 @@
+//! Address-stream pattern generators.
+//!
+//! All patterns produce 64 B line indices within a footprint of `lines`
+//! lines (the program's own address space, starting at 0). The system layer
+//! maps these to physical frames through its page allocator.
+//!
+//! Block-level reuse skew is the property that separates the migration
+//! policies: MDM's per-block cost-benefit analysis wins exactly when some
+//! 2 KB blocks are worth promoting on first touch and others are not.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Lines per 2 KB swap block.
+pub const LINES_PER_BLOCK: u64 = 32;
+
+/// One generated reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ref {
+    /// 64 B line index within the program footprint.
+    pub line: u64,
+    /// Whether the reference depends on the previous load (pointer chase).
+    pub dependent: bool,
+}
+
+/// An address-pattern generator.
+pub trait Pattern {
+    /// Produces the next reference.
+    fn next_ref(&mut self, rng: &mut SmallRng) -> Ref;
+}
+
+/// Sequential sweep over the footprint: every line once per sweep, so each
+/// 2 KB block sees 32 consecutive accesses per sweep (bwaves-, lbm-like).
+#[derive(Debug, Clone)]
+pub struct Streaming {
+    lines: u64,
+    pos: u64,
+}
+
+impl Streaming {
+    /// Creates a stream over `lines` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn new(lines: u64) -> Self {
+        assert!(lines > 0, "empty footprint");
+        Streaming { lines, pos: 0 }
+    }
+}
+
+impl Pattern for Streaming {
+    fn next_ref(&mut self, _rng: &mut SmallRng) -> Ref {
+        let line = self.pos;
+        self.pos = (self.pos + 1) % self.lines;
+        Ref {
+            line,
+            dependent: false,
+        }
+    }
+}
+
+/// Strided sweep: visits every `stride`-th line, cycling through phase
+/// offsets so the whole footprint is covered (leslie3d-, zeusmp-like).
+/// Spatial locality per block is lower than streaming (32/stride accesses
+/// per block visit).
+#[derive(Debug, Clone)]
+pub struct Strided {
+    lines: u64,
+    stride: u64,
+    pos: u64,
+    phase: u64,
+}
+
+impl Strided {
+    /// Creates a strided sweep with the given stride in lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `stride` is zero.
+    pub fn new(lines: u64, stride: u64) -> Self {
+        assert!(lines > 0 && stride > 0);
+        Strided {
+            lines,
+            stride,
+            pos: 0,
+            phase: 0,
+        }
+    }
+}
+
+impl Pattern for Strided {
+    fn next_ref(&mut self, _rng: &mut SmallRng) -> Ref {
+        let line = (self.pos + self.phase) % self.lines;
+        self.pos += self.stride;
+        if self.pos >= self.lines {
+            self.pos = 0;
+            self.phase = (self.phase + 1) % self.stride;
+        }
+        Ref {
+            line,
+            dependent: false,
+        }
+    }
+}
+
+/// Uniform-random dependent references: pointer chasing over the footprint
+/// (mcf-, omnetpp-like). Each reference depends on the previous one.
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    lines: u64,
+}
+
+impl PointerChase {
+    /// Creates a chase over `lines` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero.
+    pub fn new(lines: u64) -> Self {
+        assert!(lines > 0);
+        PointerChase { lines }
+    }
+}
+
+impl Pattern for PointerChase {
+    fn next_ref(&mut self, rng: &mut SmallRng) -> Ref {
+        Ref {
+            line: rng.gen_range(0..self.lines),
+            dependent: true,
+        }
+    }
+}
+
+/// Zipf-skewed block popularity: a few hot 2 KB blocks absorb most
+/// references; lines within a block are chosen uniformly. Hot blocks are
+/// scattered over the footprint by a seeded permutation, and the
+/// permutation is re-drawn every `phase_refs` references to model
+/// working-set drift.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    blocks: u64,
+    cdf: Vec<f64>,
+    perm: Vec<u32>,
+    phase_refs: u64,
+    refs_in_phase: u64,
+    dependent: bool,
+}
+
+impl Hotspot {
+    /// Creates a Zipf(`exponent`) pattern over `lines` lines; `phase_refs`
+    /// of 0 disables drift. `dependent` marks every reference as a
+    /// pointer-chase step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint holds no whole 2 KB block.
+    pub fn new(
+        lines: u64,
+        exponent: f64,
+        phase_refs: u64,
+        dependent: bool,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let blocks = lines / LINES_PER_BLOCK;
+        assert!(blocks > 0, "footprint smaller than one block");
+        let mut cdf = Vec::with_capacity(blocks as usize);
+        let mut acc = 0.0;
+        for i in 0..blocks {
+            acc += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        let mut h = Hotspot {
+            blocks,
+            cdf,
+            perm: Vec::new(),
+            phase_refs,
+            refs_in_phase: 0,
+            dependent,
+        };
+        h.reshuffle(rng);
+        h
+    }
+
+    fn reshuffle(&mut self, rng: &mut SmallRng) {
+        let n = self.blocks as u32;
+        let mut perm: Vec<u32> = (0..n).collect();
+        // Fisher-Yates.
+        for i in (1..perm.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        self.perm = perm;
+        self.refs_in_phase = 0;
+    }
+}
+
+impl Pattern for Hotspot {
+    fn next_ref(&mut self, rng: &mut SmallRng) -> Ref {
+        if self.phase_refs > 0 && self.refs_in_phase >= self.phase_refs {
+            self.reshuffle(rng);
+        }
+        self.refs_in_phase += 1;
+        let u: f64 = rng.gen();
+        let rank = match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        };
+        let block = u64::from(self.perm[rank]);
+        let line = block * LINES_PER_BLOCK + rng.gen_range(0..LINES_PER_BLOCK);
+        Ref {
+            line,
+            dependent: self.dependent,
+        }
+    }
+}
+
+/// Several concurrent sequential streams over the footprint, served
+/// round-robin: models the multiple array walks of SPEC FP codes (bwaves,
+/// lbm and GemsFDTD each traverse many arrays per iteration). Each 2 KB
+/// block still receives its 32 sequential accesses per sweep, but the
+/// interleaving across streams (and thus across banks and rows) breaks
+/// row-buffer locality at the memory controller — the regime in which the
+/// M1/M2 latency gap, and therefore migration, matters.
+#[derive(Debug, Clone)]
+pub struct MultiStream {
+    lines: u64,
+    cursors: Vec<u64>,
+    next: usize,
+}
+
+impl MultiStream {
+    /// Creates `streams` concurrent walks with seeded random offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `streams` is zero.
+    pub fn new(lines: u64, streams: usize, rng: &mut SmallRng) -> Self {
+        assert!(lines > 0 && streams > 0);
+        let cursors = (0..streams).map(|_| rng.gen_range(0..lines)).collect();
+        MultiStream {
+            lines,
+            cursors,
+            next: 0,
+        }
+    }
+}
+
+impl Pattern for MultiStream {
+    fn next_ref(&mut self, _rng: &mut SmallRng) -> Ref {
+        let i = self.next;
+        self.next = (self.next + 1) % self.cursors.len();
+        let line = self.cursors[i];
+        self.cursors[i] = (line + 1) % self.lines;
+        Ref {
+            line,
+            dependent: false,
+        }
+    }
+}
+
+/// Probabilistic mix of two patterns: with probability `p_second` the
+/// reference comes from the second pattern (soplex-, milc-like mixes of
+/// regular and irregular accesses).
+pub struct Mix {
+    first: Box<dyn Pattern + Send>,
+    second: Box<dyn Pattern + Send>,
+    p_second: f64,
+}
+
+impl std::fmt::Debug for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mix")
+            .field("p_second", &self.p_second)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p_second` is in [0, 1].
+    pub fn new(
+        first: Box<dyn Pattern + Send>,
+        second: Box<dyn Pattern + Send>,
+        p_second: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&p_second));
+        Mix {
+            first,
+            second,
+            p_second,
+        }
+    }
+}
+
+impl Pattern for Mix {
+    fn next_ref(&mut self, rng: &mut SmallRng) -> Ref {
+        if rng.gen::<f64>() < self.p_second {
+            self.second.next_ref(rng)
+        } else {
+            self.first.next_ref(rng)
+        }
+    }
+}
+
+/// Convenience constructor for a seeded [`SmallRng`].
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn streaming_covers_footprint_in_order() {
+        let mut rng = seeded_rng(1);
+        let mut s = Streaming::new(64);
+        let lines: Vec<u64> = (0..64).map(|_| s.next_ref(&mut rng).line).collect();
+        assert_eq!(lines, (0..64).collect::<Vec<_>>());
+        // Wraps around.
+        assert_eq!(s.next_ref(&mut rng).line, 0);
+    }
+
+    #[test]
+    fn strided_covers_every_line_eventually() {
+        let mut rng = seeded_rng(1);
+        let mut s = Strided::new(128, 4);
+        let mut seen = vec![false; 128];
+        // One pass = lines/stride = 32 references, visiting every 4th line.
+        for _ in 0..32 {
+            seen[s.next_ref(&mut rng).line as usize] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&b| b).count(), 32);
+        // `stride` passes (phase offsets 0..stride) cover everything.
+        for _ in 0..(32 * 3) {
+            seen[s.next_ref(&mut rng).line as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn pointer_chase_is_dependent_and_in_range() {
+        let mut rng = seeded_rng(2);
+        let mut p = PointerChase::new(1000);
+        for _ in 0..100 {
+            let r = p.next_ref(&mut rng);
+            assert!(r.dependent);
+            assert!(r.line < 1000);
+        }
+    }
+
+    #[test]
+    fn hotspot_is_skewed() {
+        let mut rng = seeded_rng(3);
+        let mut h = Hotspot::new(32 * 256, 0.9, 0, false, &mut rng);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..20_000 {
+            let r = h.next_ref(&mut rng);
+            assert!(r.line < 32 * 256);
+            *counts.entry(r.line / LINES_PER_BLOCK).or_default() += 1;
+        }
+        let mut sorted: Vec<u64> = counts.values().copied().collect();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = sorted.iter().take(10, ).sum();
+        // Zipf(0.9) over 256 blocks: top-10 blocks take a large share.
+        assert!(
+            top10 as f64 > 0.2 * 20_000.0,
+            "top-10 share too small: {top10}"
+        );
+    }
+
+    #[test]
+    fn hotspot_phases_drift() {
+        let mut rng = seeded_rng(4);
+        let mut h = Hotspot::new(32 * 128, 1.0, 1000, false, &mut rng);
+        let hot_block = |h: &mut Hotspot, rng: &mut SmallRng| {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..900 {
+                *counts
+                    .entry(h.next_ref(rng).line / LINES_PER_BLOCK)
+                    .or_default() += 1;
+            }
+            counts.into_iter().max_by_key(|&(_, c)| c).expect("counts").0
+        };
+        let first = hot_block(&mut h, &mut rng);
+        // Force several phase changes; the hottest block should move at
+        // least once.
+        let mut moved = false;
+        for _ in 0..5 {
+            for _ in 0..200 {
+                h.next_ref(&mut rng);
+            }
+            if hot_block(&mut h, &mut rng) != first {
+                moved = true;
+            }
+        }
+        assert!(moved, "working set never drifted");
+    }
+
+    #[test]
+    fn mix_draws_from_both() {
+        let mut rng = seeded_rng(5);
+        let mut m = Mix::new(
+            Box::new(Streaming::new(32)),
+            Box::new(PointerChase::new(1_000_000)),
+            0.5,
+        );
+        let mut dependent = 0;
+        let mut small = 0;
+        for _ in 0..1000 {
+            let r = m.next_ref(&mut rng);
+            if r.dependent {
+                dependent += 1;
+            }
+            if r.line < 32 {
+                small += 1;
+            }
+        }
+        assert!(dependent > 300 && dependent < 700);
+        assert!(small >= 1000 - dependent);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty footprint")]
+    fn streaming_rejects_empty() {
+        Streaming::new(0);
+    }
+}

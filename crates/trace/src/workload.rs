@@ -1,0 +1,133 @@
+//! The nineteen multiprogrammed workloads of the paper's Table 10.
+
+use crate::spec::SpecProgram;
+
+/// A four-program workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Workload {
+    /// The paper's workload id, "w01" .. "w19".
+    pub id: &'static str,
+    /// The four programs, in Table 10 order (pinned to cores 0..3).
+    pub programs: [SpecProgram; 4],
+}
+
+/// All nineteen workloads of Table 10.
+pub fn workloads() -> [Workload; 19] {
+    use SpecProgram::*;
+    [
+        Workload {
+            id: "w01",
+            programs: [Mcf, Libquantum, Leslie3d, Lbm],
+        },
+        Workload {
+            id: "w02",
+            programs: [Soplex, GemsFDTD, Omnetpp, Zeusmp],
+        },
+        Workload {
+            id: "w03",
+            programs: [Milc, Bwaves, Lbm, Lbm],
+        },
+        Workload {
+            id: "w04",
+            programs: [Libquantum, Bwaves, Leslie3d, Omnetpp],
+        },
+        Workload {
+            id: "w05",
+            programs: [Mcf, Bwaves, Zeusmp, GemsFDTD],
+        },
+        Workload {
+            id: "w06",
+            programs: [Soplex, Libquantum, Lbm, Omnetpp],
+        },
+        Workload {
+            id: "w07",
+            programs: [Milc, GemsFDTD, Bwaves, Leslie3d],
+        },
+        Workload {
+            id: "w08",
+            programs: [Soplex, Leslie3d, Lbm, Zeusmp],
+        },
+        Workload {
+            id: "w09",
+            programs: [Mcf, Soplex, Lbm, GemsFDTD],
+        },
+        Workload {
+            id: "w10",
+            programs: [Libquantum, Leslie3d, Omnetpp, Zeusmp],
+        },
+        Workload {
+            id: "w11",
+            programs: [Soplex, Bwaves, Lbm, Libquantum],
+        },
+        Workload {
+            id: "w12",
+            programs: [Milc, GemsFDTD, Soplex, Lbm],
+        },
+        Workload {
+            id: "w13",
+            programs: [Mcf, Soplex, Bwaves, Zeusmp],
+        },
+        Workload {
+            id: "w14",
+            programs: [GemsFDTD, Soplex, Omnetpp, Libquantum],
+        },
+        Workload {
+            id: "w15",
+            programs: [Leslie3d, Omnetpp, Lbm, Zeusmp],
+        },
+        Workload {
+            id: "w16",
+            programs: [Libquantum, Libquantum, Bwaves, Zeusmp],
+        },
+        Workload {
+            id: "w17",
+            programs: [Mcf, Mcf, Omnetpp, Leslie3d],
+        },
+        Workload {
+            id: "w18",
+            programs: [Mcf, Milc, Milc, GemsFDTD],
+        },
+        Workload {
+            id: "w19",
+            programs: [Milc, Libquantum, Omnetpp, Leslie3d],
+        },
+    ]
+}
+
+/// Looks up a workload by id ("w01".."w19").
+pub fn workload_by_id(id: &str) -> Option<Workload> {
+    workloads().into_iter().find(|w| w.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SpecProgram::*;
+
+    #[test]
+    fn nineteen_workloads() {
+        assert_eq!(workloads().len(), 19);
+    }
+
+    #[test]
+    fn table10_spot_checks() {
+        let w09 = workload_by_id("w09").expect("w09");
+        assert_eq!(w09.programs, [Mcf, Soplex, Lbm, GemsFDTD]);
+        let w16 = workload_by_id("w16").expect("w16");
+        assert_eq!(w16.programs, [Libquantum, Libquantum, Bwaves, Zeusmp]);
+        let w19 = workload_by_id("w19").expect("w19");
+        assert_eq!(w19.programs, [Milc, Libquantum, Omnetpp, Leslie3d]);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        for (i, w) in workloads().iter().enumerate() {
+            assert_eq!(w.id, format!("w{:02}", i + 1));
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(workload_by_id("w20").is_none());
+    }
+}

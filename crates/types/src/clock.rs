@@ -1,0 +1,202 @@
+//! The simulator clock domain.
+//!
+//! The global simulation clock counts *memory-channel cycles* (0.8 GHz in
+//! the paper's Table 8, i.e. 1.25 ns per cycle). Cores run at a configurable
+//! integer multiple of the channel clock (4× = 3.2 GHz by default); the CPU
+//! model keeps sub-cycle precision internally and converts at the boundary.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in time or a duration, measured in memory-channel cycles.
+///
+/// `Cycle` is used for both instants and durations; the arithmetic provided
+/// (instant + duration, instant − instant) covers both uses without a
+/// separate duration type, which keeps hot simulator loops simple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The far future; used as "no event scheduled".
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs > self`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// Conversion between wall-clock nanoseconds and memory cycles.
+///
+/// # Examples
+///
+/// ```
+/// use profess_types::clock::ClockSpec;
+///
+/// let clk = ClockSpec::paper(); // 0.8 GHz channel clock, 4x core clock
+/// assert_eq!(clk.ns_to_cycles(13.75), 11); // tRCD of DDR4-1600
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSpec {
+    /// Nanoseconds per memory-channel cycle.
+    pub ns_per_cycle: f64,
+    /// Core cycles per memory cycle (core frequency / channel frequency).
+    pub core_mult: u32,
+}
+
+impl ClockSpec {
+    /// The paper's Table 8 clocks: 0.8 GHz channel (1.6 GHz DDR), 3.2 GHz core.
+    pub fn paper() -> Self {
+        ClockSpec {
+            ns_per_cycle: 1.25,
+            core_mult: 4,
+        }
+    }
+
+    /// Converts a latency in nanoseconds to whole memory cycles (round up).
+    ///
+    /// A small epsilon absorbs floating-point noise so exact multiples such
+    /// as 13.75 ns at 1.25 ns/cycle convert to exactly 11 cycles.
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        ((ns / self.ns_per_cycle) - 1e-9).ceil().max(0.0) as u64
+    }
+
+    /// Converts memory cycles to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.ns_per_cycle
+    }
+
+    /// Converts memory cycles to core cycles.
+    pub fn to_core_cycles(&self, c: Cycle) -> u64 {
+        c.0 * u64::from(self.core_mult)
+    }
+}
+
+impl Default for ClockSpec {
+    fn default() -> Self {
+        ClockSpec::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Cycle(10);
+        let b = Cycle(4);
+        assert_eq!(a + b, Cycle(14));
+        assert_eq!(a - b, Cycle(6));
+        assert_eq!(a + 5, Cycle(15));
+        assert_eq!(b.saturating_sub(a), Cycle::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+        let s: Cycle = [a, b].into_iter().sum();
+        assert_eq!(s, Cycle(14));
+    }
+
+    #[test]
+    fn ns_round_trip_paper_clock() {
+        let clk = ClockSpec::paper();
+        assert_eq!(clk.ns_to_cycles(13.75), 11);
+        assert_eq!(clk.ns_to_cycles(137.50), 110);
+        assert_eq!(clk.ns_to_cycles(15.0), 12);
+        assert_eq!(clk.ns_to_cycles(275.0), 220);
+        assert_eq!(clk.ns_to_cycles(0.0), 0);
+        // Non-multiples round up.
+        assert_eq!(clk.ns_to_cycles(1.3), 2);
+        assert!((clk.cycles_to_ns(11) - 13.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_cycle_conversion() {
+        let clk = ClockSpec::paper();
+        assert_eq!(clk.to_core_cycles(Cycle(10)), 40);
+    }
+
+    #[test]
+    fn never_is_max() {
+        assert!(Cycle(u64::MAX - 1) < Cycle::NEVER);
+    }
+}

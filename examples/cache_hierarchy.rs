@@ -1,0 +1,57 @@
+//! Cache hierarchy demo: drive raw loads/stores through the L1/L2/L3
+//! substrate (paper Table 8 geometry) and measure the post-L3 miss stream
+//! that the hybrid-memory policies actually see.
+//!
+//! The fast evaluation path of this reproduction generates post-L3
+//! streams directly (see DESIGN.md); this example shows the cache-driven
+//! alternative and lets you check how L3 filtering shapes MPKI.
+//!
+//! ```bash
+//! cargo run --release --example cache_hierarchy
+//! ```
+
+use profess::cache::{Hierarchy, HitLevel};
+use profess::trace::patterns::{seeded_rng, Hotspot, Pattern, Streaming};
+use profess::types::SystemConfig;
+
+fn main() {
+    let cfg = SystemConfig::scaled_single();
+    let mut h = Hierarchy::new(&cfg.caches, 1);
+    let lines = 4 << 20 >> 6; // 4 MB virtual footprint
+    let mut rng = seeded_rng(7);
+
+    // A stream with strong reuse (hot 2 KB blocks) and one without.
+    let mut hot: Box<dyn Pattern + Send> = Box::new(Hotspot::new(lines, 1.0, 0, false, &mut rng));
+    let mut scan: Box<dyn Pattern + Send> = Box::new(Streaming::new(lines));
+
+    for (name, pattern) in [("hotspot", &mut hot), ("streaming", &mut scan)] {
+        let mut misses = 0u64;
+        let mut writebacks = 0u64;
+        let n = 400_000u64;
+        for i in 0..n {
+            let r = pattern.next_ref(&mut rng);
+            let out = h.access(0, r.line, i % 4 == 0);
+            if out.hit == HitLevel::Memory {
+                misses += 1;
+            }
+            writebacks += out.writebacks.len() as u64;
+        }
+        println!(
+            "{name:>10}: {} accesses -> {} post-L3 misses ({:.1}%), {} writebacks",
+            n,
+            misses,
+            100.0 * misses as f64 / n as f64,
+            writebacks
+        );
+        println!(
+            "            L1 hit {:.1}%  L2 hit {:.1}%  L3 hit {:.1}%",
+            100.0 * h.l1_stats(0).hit_rate(),
+            100.0 * h.l2_stats(0).hit_rate(),
+            100.0 * h.l3_stats().hit_rate()
+        );
+    }
+    println!("\nReading: the hotspot stream's reuse is partly absorbed by");
+    println!("the hierarchy; the streaming sweep misses every level, which");
+    println!("is why post-L3 scan traffic is modeled as low-locality block");
+    println!("visits in the evaluation substrate.");
+}
