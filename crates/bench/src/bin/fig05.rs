@@ -62,18 +62,8 @@ fn main() {
     // The paper's reduced system: 4 MB M1 / 32 MB M2 at its scale; ours is
     // that divided by the same 32 => 128 KB M1. The smallest geometry that
     // keeps 128 regions is 512 KB M1, still well below the 1 MB footprint.
-    let small = profess_types::geometry::Geometry::new(
-        2048,
-        64,
-        4096,
-        1,
-        512 << 10,
-        8,
-        128,
-        16,
-        8192,
-        8,
-    );
+    let small =
+        profess_types::geometry::Geometry::new(2048, 64, 4096, 1, 512 << 10, 8, 128, 16, 8192, 8);
     let mut cfg_small = cfg.clone();
     cfg_small.org = small;
     cfg_small.stc.entries = 32;

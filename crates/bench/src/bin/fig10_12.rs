@@ -31,6 +31,10 @@ fn main() {
     let mixed_fairness = rows.iter().any(|r| r.unfairness > 1.0);
     println!(
         "Some workloads less fair than PoM (expected, MDM ignores slowdowns): {}",
-        if mixed_fairness { "yes, as in the paper" } else { "no" }
+        if mixed_fairness {
+            "yes, as in the paper"
+        } else {
+            "no"
+        }
     );
 }

@@ -41,7 +41,10 @@ fn main() {
         &mdm.iter().map(|r| r.unfairness).collect::<Vec<_>>(),
     );
     let ws_vs_mdm = rel(
-        &profess.iter().map(|r| r.weighted_speedup).collect::<Vec<_>>(),
+        &profess
+            .iter()
+            .map(|r| r.weighted_speedup)
+            .collect::<Vec<_>>(),
         &mdm.iter().map(|r| r.weighted_speedup).collect::<Vec<_>>(),
     );
     let swap_vs_mdm = rel(

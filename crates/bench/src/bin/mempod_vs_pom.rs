@@ -7,9 +7,7 @@
 //! because it lacks cost-benefit analysis; this motivates PoM as the
 //! paper's baseline.
 
-use profess_bench::{
-    run_solo, run_workload, summarize, target_from_args, MULTI_TARGET_MISSES,
-};
+use profess_bench::{run_solo, run_workload, summarize, target_from_args, MULTI_TARGET_MISSES};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::{workloads, SpecProgram};

@@ -36,15 +36,32 @@ fn main() {
                 for pr in &multi.programs {
                     eprintln!(
                         "  {} {}: ipc={:.4} m1frac={:.3} rdlat={:.1} served={}",
-                        multi.policy, pr.name, pr.ipc, pr.m1_fraction(), pr.read_latency_avg, pr.served
+                        multi.policy,
+                        pr.name,
+                        pr.ipc,
+                        pr.m1_fraction(),
+                        pr.read_latency_avg,
+                        pr.served
                     );
                 }
             }
-            if let (Some(g), true) = (multi.diag.guidance, std::env::var_os("PROFESS_VERBOSE").is_some()) {
+            if let (Some(g), true) = (
+                multi.diag.guidance,
+                std::env::var_os("PROFESS_VERBOSE").is_some(),
+            ) {
                 eprintln!(
                     "{id} {}: guidance help={} protect={} protect3={} default={} sfs={:?}",
-                    multi.policy, g.help_m2, g.protect_m1, g.protect_m1_product, g.default_mdm,
-                    multi.diag.sfs.iter().map(|&(a, b)| (format!("{a:.2}"), format!("{b:.2}"))).collect::<Vec<_>>()
+                    multi.policy,
+                    g.help_m2,
+                    g.protect_m1,
+                    g.protect_m1_product,
+                    g.default_mdm,
+                    multi
+                        .diag
+                        .sfs
+                        .iter()
+                        .map(|&(a, b)| (format!("{a:.2}"), format!("{b:.2}")))
+                        .collect::<Vec<_>>()
                 );
             }
             t.row(vec![

@@ -1,0 +1,219 @@
+//! A minimal wall-clock benchmark runner (in-tree replacement for
+//! `criterion`).
+//!
+//! Each benchmark is a closure timed over a fixed number of samples
+//! after a warm-up phase; the runner reports min / median / mean per
+//! iteration. No statistics beyond that: the engine benches guard
+//! against order-of-magnitude regressions, not nanosecond drift, and the
+//! hermetic-build policy forbids external crates.
+//!
+//! Environment overrides:
+//! * `PROFESS_BENCH_SAMPLES` — timed samples per benchmark (default 10);
+//! * `PROFESS_BENCH_WARMUP` — warm-up iterations (default 3);
+//! * `PROFESS_BENCH_FILTER` — substring filter on benchmark names (the
+//!   first CLI argument does the same, as `cargo bench -- <filter>`).
+
+use std::time::{Duration, Instant};
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Timed samples per benchmark.
+    pub samples: u32,
+    /// Untimed warm-up iterations.
+    pub warmup: u32,
+    /// Only run benchmarks whose name contains this substring.
+    pub filter: Option<String>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        let env_u32 = |k: &str| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v: &u32| v > 0)
+        };
+        BenchConfig {
+            samples: env_u32("PROFESS_BENCH_SAMPLES").unwrap_or(10),
+            warmup: env_u32("PROFESS_BENCH_WARMUP").unwrap_or(3),
+            filter: std::env::var("PROFESS_BENCH_FILTER")
+                .ok()
+                .or_else(|| std::env::args().nth(1).filter(|a| !a.starts_with('-'))),
+        }
+    }
+}
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Samples taken.
+    pub samples: u32,
+}
+
+/// The benchmark runner. Collects results for a final summary table.
+#[derive(Debug, Default)]
+pub struct Runner {
+    cfg: BenchConfig,
+    results: Vec<(String, BenchStats)>,
+}
+
+impl Runner {
+    /// Creates a runner from the environment/CLI configuration.
+    pub fn new() -> Self {
+        Runner {
+            cfg: BenchConfig::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Creates a runner with an explicit configuration.
+    pub fn with_config(cfg: BenchConfig) -> Self {
+        Runner {
+            cfg,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `routine`; its return value is black-boxed so the work is
+    /// not optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) {
+        self.bench_with_setup(name, || (), move |()| routine());
+    }
+
+    /// Times `routine` over fresh `setup` output per iteration; only the
+    /// routine is timed (the criterion `iter_batched` pattern).
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        if let Some(f) = &self.cfg.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        for _ in 0..self.cfg.warmup {
+            let input = setup();
+            std::hint::black_box(routine(std::hint::black_box(input)));
+        }
+        let mut times = Vec::with_capacity(self.cfg.samples as usize);
+        for _ in 0..self.cfg.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(std::hint::black_box(input)));
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        let stats = BenchStats {
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: times.iter().sum::<Duration>() / self.cfg.samples,
+            samples: self.cfg.samples,
+        };
+        println!(
+            "{name:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            fmt_duration(stats.min),
+            fmt_duration(stats.median),
+            fmt_duration(stats.mean),
+            stats.samples,
+        );
+        self.results.push((name.to_string(), stats));
+    }
+
+    /// The collected results, in execution order.
+    pub fn results(&self) -> &[(String, BenchStats)] {
+        &self.results
+    }
+
+    /// Prints a closing summary line.
+    pub fn finish(self) {
+        println!("ran {} benchmark(s)", self.results.len());
+    }
+}
+
+/// Formats a duration with a human-friendly unit.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_cfg() -> BenchConfig {
+        BenchConfig {
+            samples: 3,
+            warmup: 1,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn runs_and_records() {
+        let mut r = Runner::with_config(quiet_cfg());
+        let mut calls = 0u32;
+        r.bench("trivial", || {
+            calls += 1;
+            calls
+        });
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+        assert_eq!(r.results().len(), 1);
+        let (name, stats) = &r.results()[0];
+        assert_eq!(name, "trivial");
+        assert!(stats.min <= stats.median && stats.median <= stats.mean * 2);
+        assert_eq!(stats.samples, 3);
+    }
+
+    #[test]
+    fn setup_not_timed_and_fresh_per_iteration() {
+        let mut r = Runner::with_config(quiet_cfg());
+        let mut setups = 0u32;
+        r.bench_with_setup(
+            "with_setup",
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+        );
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut r = Runner::with_config(BenchConfig {
+            filter: Some("channel".into()),
+            ..quiet_cfg()
+        });
+        r.bench("core_model", || ());
+        assert!(r.results().is_empty());
+        r.bench("channel_10k", || ());
+        assert_eq!(r.results().len(), 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

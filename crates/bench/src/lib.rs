@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod harness;
+
 use profess_core::system::{PolicyKind, SystemBuilder, SystemReport};
 use profess_metrics::{unfairness, weighted_speedup};
 use profess_trace::{SpecProgram, Workload};
@@ -195,7 +197,11 @@ pub fn normalized_sweep(
     let mut rows = Vec::new();
     for w in profess_trace::workloads() {
         let base_solo = cache.solo_ipcs(cfg, PolicyKind::Pom, &w, target_misses);
-        let base = workload_metrics(w.id, &run_workload(cfg, PolicyKind::Pom, &w, target_misses), &base_solo);
+        let base = workload_metrics(
+            w.id,
+            &run_workload(cfg, PolicyKind::Pom, &w, target_misses),
+            &base_solo,
+        );
         let solo = cache.solo_ipcs(cfg, policy, &w, target_misses);
         let m = workload_metrics(w.id, &run_workload(cfg, policy, &w, target_misses), &solo);
         rows.push(NormalizedRow {
@@ -215,8 +221,10 @@ pub fn normalized_sweep(
 /// geomeans.
 pub fn print_sweep(title: &str, rows: &[NormalizedRow]) -> (f64, f64, f64) {
     use profess_metrics::table::TextTable;
-    println!("{title}
-");
+    println!(
+        "{title}
+"
+    );
     let mut t = TextTable::new(vec![
         "workload",
         "max-slowdown",

@@ -56,7 +56,10 @@ impl Cache {
     pub fn new(lines: usize, ways: usize) -> Self {
         assert!(ways > 0 && lines % ways == 0, "lines must divide into ways");
         let num_sets = lines / ways;
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Cache {
             sets: vec![Vec::with_capacity(ways); num_sets],
             ways,

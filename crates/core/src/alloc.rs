@@ -3,10 +3,9 @@
 //! allocates frames of the private regions to their respective programs
 //! only).
 
+use profess_rng::Rng;
 use profess_types::geometry::Geometry;
 use profess_types::ids::ProgramId;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::regions::RegionMap;
 
@@ -23,7 +22,7 @@ pub struct FrameAllocator {
     free_by_region: Vec<Vec<u64>>,
     owner_by_block: Vec<Option<ProgramId>>,
     region_map: RegionMap,
-    rng: SmallRng,
+    rng: Rng,
     allocated: u64,
     total_frames: u64,
 }
@@ -41,14 +40,11 @@ impl FrameAllocator {
             let region = geom.region_of(group);
             free_by_region[region.index()].push(pf);
         }
-        let mut rng = SmallRng::seed_from_u64(seed ^ 0x51AB_17EF);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x51AB_17EF);
         // Shuffle each free list so allocation order does not correlate
         // with address order (and thus with M1/M2 original placement).
         for list in &mut free_by_region {
-            for i in (1..list.len()).rev() {
-                let j = rng.gen_range(0..=i);
-                list.swap(i, j);
-            }
+            rng.shuffle(list);
         }
         FrameAllocator {
             free_by_region,

@@ -213,7 +213,7 @@ mod tests {
         let mut e = StEntry::default();
         e.swap(SlotIdx(1), SlotIdx::M1); // 1 -> M1
         e.swap(SlotIdx(2), SlotIdx(1)); // 2 -> where 1 now is (M1)? No:
-        // swap exchanges the *actual* locations of original blocks 2 and 1.
+                                        // swap exchanges the *actual* locations of original blocks 2 and 1.
         assert_eq!(e.actual_of(SlotIdx(2)), SlotIdx::M1);
         assert_eq!(e.actual_of(SlotIdx(1)), SlotIdx(2));
         assert_eq!(e.actual_of(SlotIdx::M1), SlotIdx(1));

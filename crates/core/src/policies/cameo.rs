@@ -30,8 +30,7 @@ impl MigrationPolicy for CameoPolicy {
     }
 
     fn on_access(&mut self, ctx: &mut AccessCtx<'_>) -> Decision {
-        if ctx.actual_slot.is_m2() && ctx.entry.ac[ctx.orig_slot.index()] >= self.params.threshold
-        {
+        if ctx.actual_slot.is_m2() && ctx.entry.ac[ctx.orig_slot.index()] >= self.params.threshold {
             Decision::Promote
         } else {
             Decision::Stay
@@ -50,7 +49,15 @@ mod tests {
         let mut p = CameoPolicy::new(CameoParams { threshold: 1 });
         let (mut entry, mut st) = testutil::entry_pair();
         entry.bump(SlotIdx(3), 1, 63);
-        let d = testutil::access(&mut p, &entry, &mut st, SlotIdx(3), ProgramId(0), false, None);
+        let d = testutil::access(
+            &mut p,
+            &entry,
+            &mut st,
+            SlotIdx(3),
+            ProgramId(0),
+            false,
+            None,
+        );
         assert_eq!(d, Decision::Promote);
     }
 
@@ -77,12 +84,28 @@ mod tests {
         let (mut entry, mut st) = testutil::entry_pair();
         entry.bump(SlotIdx(2), 2, 63);
         assert_eq!(
-            testutil::access(&mut p, &entry, &mut st, SlotIdx(2), ProgramId(0), false, None),
+            testutil::access(
+                &mut p,
+                &entry,
+                &mut st,
+                SlotIdx(2),
+                ProgramId(0),
+                false,
+                None
+            ),
             Decision::Stay
         );
         entry.bump(SlotIdx(2), 1, 63);
         assert_eq!(
-            testutil::access(&mut p, &entry, &mut st, SlotIdx(2), ProgramId(0), false, None),
+            testutil::access(
+                &mut p,
+                &entry,
+                &mut st,
+                SlotIdx(2),
+                ProgramId(0),
+                false,
+                None
+            ),
             Decision::Promote
         );
     }

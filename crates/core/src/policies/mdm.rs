@@ -161,7 +161,10 @@ impl MdmVerdict {
     pub fn promotes(self) -> bool {
         matches!(
             self,
-            MdmVerdict::VacantM1 | MdmVerdict::IdleM1 | MdmVerdict::ExhaustedM1 | MdmVerdict::NetBenefit
+            MdmVerdict::VacantM1
+                | MdmVerdict::IdleM1
+                | MdmVerdict::ExhaustedM1
+                | MdmVerdict::NetBenefit
         )
     }
 }
@@ -216,9 +219,8 @@ impl MdmCore {
             // strictly: a block besides the requester and the M1 resident
             // must have been accessed during this residency (otherwise the
             // clause the paper wrote would be vacuous).
-            let other_active = profess_types::SlotIdx::all().any(|s| {
-                s != ctx.orig_slot && s != ctx.m1_resident && ctx.entry.ac[s.index()] > 0
-            });
+            let other_active = profess_types::SlotIdx::all()
+                .any(|s| s != ctx.orig_slot && s != ctx.m1_resident && ctx.entry.ac[s.index()] > 0);
             if other_active {
                 return MdmVerdict::IdleM1;
             }

@@ -142,11 +142,27 @@ mod tests {
         // blocks than counters).
         for _ in 0..20 {
             entry.bump(SlotIdx(3), 1, 63);
-            testutil::access(&mut p, &entry, &mut st, SlotIdx(3), ProgramId(0), false, None);
+            testutil::access(
+                &mut p,
+                &entry,
+                &mut st,
+                SlotIdx(3),
+                ProgramId(0),
+                false,
+                None,
+            );
         }
         for s in [1u8, 2, 4, 5, 6, 7, 8] {
             entry.bump(SlotIdx(s), 1, 63);
-            testutil::access(&mut p, &entry, &mut st, SlotIdx(s), ProgramId(0), false, None);
+            testutil::access(
+                &mut p,
+                &entry,
+                &mut st,
+                SlotIdx(s),
+                ProgramId(0),
+                false,
+                None,
+            );
         }
         let migrations = p.poll(Cycle(40_000));
         assert!(!migrations.is_empty());
@@ -166,7 +182,15 @@ mod tests {
         let mut p = policy(8, 8);
         let (mut entry, mut st) = testutil::entry_pair();
         entry.bump(SlotIdx(2), 1, 63);
-        testutil::access(&mut p, &entry, &mut st, SlotIdx(2), ProgramId(0), false, None);
+        testutil::access(
+            &mut p,
+            &entry,
+            &mut st,
+            SlotIdx(2),
+            ProgramId(0),
+            false,
+            None,
+        );
         let first = p.poll(Cycle(40_000));
         assert_eq!(first.len(), 1);
         // Next interval with no accesses: nothing tracked.
@@ -181,7 +205,15 @@ mod tests {
         let (mut entry, mut st) = testutil::entry_pair();
         for s in 1..=8u8 {
             entry.bump(SlotIdx(s), 1, 63);
-            testutil::access(&mut p, &entry, &mut st, SlotIdx(s), ProgramId(0), false, None);
+            testutil::access(
+                &mut p,
+                &entry,
+                &mut st,
+                SlotIdx(s),
+                ProgramId(0),
+                false,
+                None,
+            );
         }
         let m = p.poll(Cycle(40_000));
         assert_eq!(m.len(), 2);

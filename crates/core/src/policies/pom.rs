@@ -185,7 +185,15 @@ mod tests {
         assert_eq!(p.active_threshold(), Some(1));
         let (mut entry, mut st) = testutil::entry_pair();
         entry.bump(SlotIdx(4), 1, 63);
-        let d = testutil::access(&mut p, &entry, &mut st, SlotIdx(4), ProgramId(0), false, None);
+        let d = testutil::access(
+            &mut p,
+            &entry,
+            &mut st,
+            SlotIdx(4),
+            ProgramId(0),
+            false,
+            None,
+        );
         assert_eq!(d, Decision::Promote);
     }
 
@@ -203,7 +211,15 @@ mod tests {
         let (mut entry, mut st) = testutil::entry_pair();
         entry.bump(SlotIdx(4), 8, 63);
         // A single write reaches the threshold of 8 at once.
-        let d = testutil::access(&mut p, &entry, &mut st, SlotIdx(4), ProgramId(0), true, None);
+        let d = testutil::access(
+            &mut p,
+            &entry,
+            &mut st,
+            SlotIdx(4),
+            ProgramId(0),
+            true,
+            None,
+        );
         assert_eq!(d, Decision::Promote);
     }
 
@@ -245,14 +261,30 @@ mod tests {
         // Slot 2 builds a counter of 3.
         for _ in 0..3 {
             entry.bump(SlotIdx(2), 1, 63);
-            testutil::access(&mut p, &entry, &mut st, SlotIdx(2), ProgramId(0), false, None);
+            testutil::access(
+                &mut p,
+                &entry,
+                &mut st,
+                SlotIdx(2),
+                ProgramId(0),
+                false,
+                None,
+            );
         }
         assert_eq!(st.pom_slot, 2);
         assert_eq!(st.pom_ctr, 3);
         // Slot 5 chips away and eventually takes over.
         for _ in 0..4 {
             entry.bump(SlotIdx(5), 1, 63);
-            testutil::access(&mut p, &entry, &mut st, SlotIdx(5), ProgramId(0), false, None);
+            testutil::access(
+                &mut p,
+                &entry,
+                &mut st,
+                SlotIdx(5),
+                ProgramId(0),
+                false,
+                None,
+            );
         }
         assert_eq!(st.pom_slot, 5);
         assert!(st.pom_ctr >= 1);
@@ -290,7 +322,15 @@ mod tests {
         // yields 99 hits - 8; clearly positive and the best.
         for _ in 0..100 {
             entry.bump(SlotIdx(3), 1, 63);
-            testutil::access(&mut p, &entry, &mut st, SlotIdx(3), ProgramId(0), false, None);
+            testutil::access(
+                &mut p,
+                &entry,
+                &mut st,
+                SlotIdx(3),
+                ProgramId(0),
+                false,
+                None,
+            );
             st.pom_ctr = 0; // suppress runtime promotions for this test
             p.on_served(ProgramId(0), RegionClass::Shared, false);
         }

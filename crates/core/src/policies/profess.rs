@@ -167,12 +167,7 @@ impl MigrationPolicy for ProfessPolicy {
         self.rsm.on_served(program, class, from_m1);
     }
 
-    fn on_swap(
-        &mut self,
-        promoted: ProgramId,
-        demoted: Option<ProgramId>,
-        group_is_private: bool,
-    ) {
+    fn on_swap(&mut self, promoted: ProgramId, demoted: Option<ProgramId>, group_is_private: bool) {
         // Swaps in private regions are not counted (paper §3.1.2).
         if !group_is_private {
             self.rsm.on_swap(promoted, demoted);
@@ -191,9 +186,7 @@ impl MigrationPolicy for ProfessPolicy {
         let n = self.rsm.num_programs();
         PolicyDiagnostics {
             guidance: Some(self.stats),
-            sfs: (0..n)
-                .map(|i| self.rsm.sf(ProgramId(i as u8)))
-                .collect(),
+            sfs: (0..n).map(|i| self.rsm.sf(ProgramId(i as u8))).collect(),
         }
     }
 }
@@ -325,7 +318,10 @@ mod tests {
         let mut p = policy();
         // Fresh RSM: all SFs are 1.0 -> no case fires (thresholds exclude
         // ties).
-        assert_eq!(p.classify(ProgramId(0), ProgramId(1)), GuidanceCase::Default);
+        assert_eq!(
+            p.classify(ProgramId(0), ProgramId(1)),
+            GuidanceCase::Default
+        );
         let (mut entry, mut st) = testutil::entry_pair();
         entry.q_i[4] = qac::HIGH;
         entry.bump(SlotIdx(4), 1, 63);

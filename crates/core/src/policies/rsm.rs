@@ -162,8 +162,7 @@ impl Rsm {
         let sf_a = (sm[REQ_M1_P] / sm[REQ_TOT_P]) / (sm[REQ_M1_S] / sm[REQ_TOT_S]);
         let sf_b = sm[SWAP_TOT] / sm[SWAP_SELF];
         if keep {
-            let raw_sf_a =
-                (raw1[REQ_M1_P] / raw1[REQ_TOT_P]) / (raw1[REQ_M1_S] / raw1[REQ_TOT_S]);
+            let raw_sf_a = (raw1[REQ_M1_P] / raw1[REQ_TOT_P]) / (raw1[REQ_M1_S] / raw1[REQ_TOT_S]);
             s.samples.push(SfSample {
                 raw_sf_a,
                 avg_sf_a: sf_a,

@@ -96,9 +96,7 @@ impl MigrationPolicy for RsmGuided {
 
     fn on_access(&mut self, ctx: &mut AccessCtx<'_>) -> Decision {
         let case = match ctx.m1_owner {
-            Some(p1) if ctx.actual_slot.is_m2() && p1 != ctx.program => {
-                self.case(p1, ctx.program)
-            }
+            Some(p1) if ctx.actual_slot.is_m2() && p1 != ctx.program => self.case(p1, ctx.program),
             _ => 0,
         };
         match case {
@@ -127,12 +125,7 @@ impl MigrationPolicy for RsmGuided {
         self.inner.on_served(program, class, from_m1);
     }
 
-    fn on_swap(
-        &mut self,
-        promoted: ProgramId,
-        demoted: Option<ProgramId>,
-        group_is_private: bool,
-    ) {
+    fn on_swap(&mut self, promoted: ProgramId, demoted: Option<ProgramId>, group_is_private: bool) {
         if !group_is_private {
             self.rsm.on_swap(promoted, demoted);
         }

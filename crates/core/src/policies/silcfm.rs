@@ -140,7 +140,15 @@ mod tests {
         let mut p = policy();
         let (mut entry, mut st) = testutil::entry_pair();
         entry.bump(SlotIdx(3), 1, 63);
-        let d = testutil::access(&mut p, &entry, &mut st, SlotIdx(3), ProgramId(0), false, None);
+        let d = testutil::access(
+            &mut p,
+            &entry,
+            &mut st,
+            SlotIdx(3),
+            ProgramId(0),
+            false,
+            None,
+        );
         assert_eq!(d, Decision::Promote);
     }
 
@@ -164,7 +172,15 @@ mod tests {
         assert_eq!(p.locked_groups(), 1);
         // A first-touch M2 access can no longer displace it.
         entry.bump(SlotIdx(5), 1, 63);
-        let d = testutil::access(&mut p, &entry, &mut st, SlotIdx(5), ProgramId(0), false, None);
+        let d = testutil::access(
+            &mut p,
+            &entry,
+            &mut st,
+            SlotIdx(5),
+            ProgramId(0),
+            false,
+            None,
+        );
         assert_eq!(d, Decision::Stay);
     }
 
@@ -194,7 +210,15 @@ mod tests {
         }
         assert_eq!(p.locked_groups(), 0);
         entry.bump(SlotIdx(5), 1, 63);
-        let d = testutil::access(&mut p, &entry, &mut st, SlotIdx(5), ProgramId(0), false, None);
+        let d = testutil::access(
+            &mut p,
+            &entry,
+            &mut st,
+            SlotIdx(5),
+            ProgramId(0),
+            false,
+            None,
+        );
         assert_eq!(d, Decision::Promote);
     }
 
@@ -213,7 +237,15 @@ mod tests {
             Some(ProgramId(0)),
         );
         entry.bump(SlotIdx(2), 1, 63);
-        let d = testutil::access(&mut p, &entry, &mut st, SlotIdx(2), ProgramId(0), false, None);
+        let d = testutil::access(
+            &mut p,
+            &entry,
+            &mut st,
+            SlotIdx(2),
+            ProgramId(0),
+            false,
+            None,
+        );
         assert_eq!(d, Decision::Promote);
         assert_eq!(p.aging.get(&0).copied(), Some(0), "tracking restarted");
     }

@@ -88,7 +88,10 @@ impl Stc {
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(ways > 0 && entries % ways == 0);
         let sets = entries / ways;
-        assert!(sets.is_power_of_two(), "STC set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "STC set count must be a power of two"
+        );
         Stc {
             sets: vec![Vec::with_capacity(ways); sets],
             ways,
@@ -134,11 +137,7 @@ impl Stc {
     /// # Panics
     ///
     /// Panics if the group is already cached.
-    pub fn insert(
-        &mut self,
-        group: GroupId,
-        q_i: [u8; SlotIdx::MAX],
-    ) -> Option<CachedEntry> {
+    pub fn insert(&mut self, group: GroupId, q_i: [u8; SlotIdx::MAX]) -> Option<CachedEntry> {
         self.tick += 1;
         let tick = self.tick;
         let ways = self.ways;

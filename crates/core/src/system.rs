@@ -430,28 +430,28 @@ impl System {
             p
         } else {
             match b.policy {
-            PolicyKind::Static => Box::new(StaticPolicy::new()),
-            PolicyKind::Cameo => Box::new(CameoPolicy::new(cfg.cameo)),
-            PolicyKind::Pom => Box::new(PomPolicy::new(cfg.pom.clone(), k)),
-            PolicyKind::MemPod => {
-                Box::new(MemPodPolicy::new(cfg.mempod, cfg.mem.clock.ns_per_cycle))
-            }
-            PolicyKind::Mdm => Box::new(MdmPolicy::new(cfg.mdm, n_prog)),
-            PolicyKind::Profess => Box::new(ProfessPolicy::new(cfg.mdm, cfg.rsm, n_prog)),
-            PolicyKind::ProfessNoCase3 => {
-                let mut p = ProfessPolicy::new(cfg.mdm, cfg.rsm, n_prog);
-                p.disable_case3();
-                Box::new(p)
-            }
-            PolicyKind::SilcFm => Box::new(
-                crate::policies::silcfm::SilcFmPolicy::new(Default::default()),
-            ),
-            PolicyKind::RsmPom => Box::new(crate::policies::rsm_guided::RsmGuided::new(
-                Box::new(PomPolicy::new(cfg.pom.clone(), k)),
-                cfg.rsm,
-                n_prog,
-                "RSM+PoM",
-            )),
+                PolicyKind::Static => Box::new(StaticPolicy::new()),
+                PolicyKind::Cameo => Box::new(CameoPolicy::new(cfg.cameo)),
+                PolicyKind::Pom => Box::new(PomPolicy::new(cfg.pom.clone(), k)),
+                PolicyKind::MemPod => {
+                    Box::new(MemPodPolicy::new(cfg.mempod, cfg.mem.clock.ns_per_cycle))
+                }
+                PolicyKind::Mdm => Box::new(MdmPolicy::new(cfg.mdm, n_prog)),
+                PolicyKind::Profess => Box::new(ProfessPolicy::new(cfg.mdm, cfg.rsm, n_prog)),
+                PolicyKind::ProfessNoCase3 => {
+                    let mut p = ProfessPolicy::new(cfg.mdm, cfg.rsm, n_prog);
+                    p.disable_case3();
+                    Box::new(p)
+                }
+                PolicyKind::SilcFm => Box::new(crate::policies::silcfm::SilcFmPolicy::new(
+                    Default::default(),
+                )),
+                PolicyKind::RsmPom => Box::new(crate::policies::rsm_guided::RsmGuided::new(
+                    Box::new(PomPolicy::new(cfg.pom.clone(), k)),
+                    cfg.rsm,
+                    n_prog,
+                    "RSM+PoM",
+                )),
             }
         };
         let mut names = Vec::new();
@@ -545,7 +545,14 @@ impl System {
             AccessKind::Read
         };
         let now = self.clock;
-        self.channels[ch].push(PhysRequest { id: token, kind, loc }, now);
+        self.channels[ch].push(
+            PhysRequest {
+                id: token,
+                kind,
+                loc,
+            },
+            now,
+        );
     }
 
     fn handle_core_request(&mut self, core: usize, r: CoreRequest) {
@@ -581,10 +588,7 @@ impl System {
             self.pending_st.entry(group).or_default().push(pending);
             if first_miss {
                 let loc = self.geom.st_entry_loc(group);
-                let token = self.token(Origin::StFetch {
-                    channel: ch,
-                    group,
-                });
+                let token = self.token(Origin::StFetch { channel: ch, group });
                 let now = self.clock;
                 self.channels[ch].push(
                     PhysRequest {
@@ -857,12 +861,21 @@ impl System {
                     self.clock,
                     self.pending_st.len(),
                     self.meta.len(),
-                    self.channels.iter().map(|c| c.queue_len()).collect::<Vec<_>>(),
-                    self.cores.iter().map(|c| c.wait_state()).collect::<Vec<_>>()
+                    self.channels
+                        .iter()
+                        .map(|c| c.queue_len())
+                        .collect::<Vec<_>>(),
+                    self.cores
+                        .iter()
+                        .map(|c| c.wait_state())
+                        .collect::<Vec<_>>()
                 );
                 for ch in &self.channels {
                     eprintln!("  queue: {:?}", ch.debug_queue(self.clock));
-                    eprintln!("  m1 banks: {:?}", ch.debug_banks(profess_types::geometry::Module::M1));
+                    eprintln!(
+                        "  m1 banks: {:?}",
+                        ch.debug_banks(profess_types::geometry::Module::M1)
+                    );
                 }
                 break;
             }
@@ -924,8 +937,7 @@ impl System {
                     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
                     let std = |xs: &[f64]| {
                         let m = mean(xs);
-                        (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
-                            .sqrt()
+                        (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
                     };
                     let raw: Vec<f64> = samples.iter().map(|s| s.raw_sf_a).collect();
                     let avg: Vec<f64> = samples.iter().map(|s| s.avg_sf_a).collect();
@@ -1042,7 +1054,9 @@ mod tests {
                     return None;
                 }
                 i += 1;
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Some(MemOp {
                     gap,
                     kind: MemOpKind::Load,

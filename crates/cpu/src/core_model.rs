@@ -3,8 +3,8 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use profess_types::config::CpuConfig;
 use profess_types::clock::ClockSpec;
+use profess_types::config::CpuConfig;
 use profess_types::Cycle;
 
 use crate::op::{MemOp, MemOpKind, OpSource};

@@ -2,7 +2,8 @@
 //! and liveness under random op streams served by a random-latency
 //! memory.
 
-use proptest::prelude::*;
+use profess_check::strategy::{any_bool, tuple4, u8_range, vec_of};
+use profess_check::{check_with, prop_assert, prop_assert_eq, Config, Strategy};
 use profess_cpu::{CoreSim, MemOp, MemOpKind, OpSource, WaitState};
 use profess_types::clock::ClockSpec;
 use profess_types::config::CpuConfig;
@@ -26,18 +27,35 @@ struct OpSpec {
     latency: u8,
 }
 
-fn ops_strategy() -> impl Strategy<Value = Vec<OpSpec>> {
-    proptest::collection::vec(
-        (0u8..40, any::<bool>(), any::<bool>(), 1u8..200).prop_map(
-            |(gap, store, dependent, latency)| OpSpec {
-                gap,
-                store,
-                dependent,
-                latency,
-            },
-        ),
+impl OpSpec {
+    fn from_tuple(&(gap, store, dependent, latency): &(u8, bool, bool, u8)) -> OpSpec {
+        OpSpec {
+            gap,
+            store,
+            dependent,
+            latency,
+        }
+    }
+}
+
+/// Raw op streams; tuples are mapped to [`OpSpec`] inside the properties
+/// so shrinking stays in the generator's own domain.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, bool, bool, u8)>> {
+    vec_of(
+        tuple4(u8_range(0..40), any_bool(), any_bool(), u8_range(1..200)),
         1..80,
     )
+}
+
+fn cases64() -> Config {
+    Config {
+        cases: 64,
+        ..Config::default()
+    }
+}
+
+fn specs_of(raw: &[(u8, bool, bool, u8)]) -> Vec<OpSpec> {
+    raw.iter().map(OpSpec::from_tuple).collect()
 }
 
 struct Scripted {
@@ -113,54 +131,102 @@ fn run(specs: &[OpSpec]) -> (u64, Cycle, usize) {
     (core.instructions(), now, issued)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn instruction_accounting_and_liveness() {
+    check_with(
+        &cases64(),
+        &[],
+        "instruction_accounting_and_liveness",
+        ops_strategy(),
+        |raw| {
+            let specs = specs_of(raw);
+            let (instructions, finish, issued) = run(&specs);
+            let expected: u64 = specs.iter().map(|s| u64::from(s.gap) + 1).sum();
+            prop_assert_eq!(instructions, expected);
+            prop_assert_eq!(issued, specs.len());
+            prop_assert!(finish > Cycle::ZERO);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn instruction_accounting_and_liveness(specs in ops_strategy()) {
-        let (instructions, finish, issued) = run(&specs);
-        let expected: u64 = specs.iter().map(|s| u64::from(s.gap) + 1).sum();
-        prop_assert_eq!(instructions, expected);
-        prop_assert_eq!(issued, specs.len());
-        prop_assert!(finish > Cycle::ZERO);
-    }
-
-    #[test]
-    fn ipc_never_exceeds_width(specs in ops_strategy()) {
-        let ops: Vec<MemOp> = specs.iter().enumerate().map(|(i, s)| MemOp {
-            gap: u32::from(s.gap),
-            kind: if s.store { MemOpKind::Store } else { MemOpKind::Load },
-            line: i as u64,
-            dependent: false,
-        }).collect();
-        let clock = ClockSpec::paper();
-        let mut core = CoreSim::new(&cfg(), &clock, Box::new(Scripted { ops, i: 0 }));
-        // Instant memory: complete every request immediately.
-        let mut now = Cycle(0);
-        let mut guard = 0;
-        while !core.is_finished() {
-            guard += 1;
-            prop_assert!(guard < 1_000_000);
-            let mut out = Vec::new();
-            core.advance(now, &mut out);
-            for r in out {
-                core.complete(r.id, now);
+#[test]
+fn ipc_never_exceeds_width() {
+    check_with(
+        &cases64(),
+        &[],
+        "ipc_never_exceeds_width",
+        ops_strategy(),
+        |raw| {
+            let specs = specs_of(raw);
+            let ops: Vec<MemOp> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| MemOp {
+                    gap: u32::from(s.gap),
+                    kind: if s.store {
+                        MemOpKind::Store
+                    } else {
+                        MemOpKind::Load
+                    },
+                    line: i as u64,
+                    dependent: false,
+                })
+                .collect();
+            let clock = ClockSpec::paper();
+            let mut core = CoreSim::new(&cfg(), &clock, Box::new(Scripted { ops, i: 0 }));
+            // Instant memory: complete every request immediately.
+            let mut now = Cycle(0);
+            let mut guard = 0;
+            while !core.is_finished() {
+                guard += 1;
+                prop_assert!(guard < 1_000_000);
+                let mut out = Vec::new();
+                core.advance(now, &mut out);
+                for r in out {
+                    core.complete(r.id, now);
+                }
+                if matches!(core.wait_state(), WaitState::Finished) {
+                    break;
+                }
+                now = core.next_event(now).max(now + 1).min(now + 1_000);
             }
-            if matches!(core.wait_state(), WaitState::Finished) {
-                break;
-            }
-            now = core.next_event(now).max(now + 1).min(now + 1_000);
-        }
-        prop_assert!(core.ipc() <= 4.0 + 1e-9, "ipc {}", core.ipc());
-        prop_assert!(core.ipc() > 0.0);
-    }
+            prop_assert!(core.ipc() <= 4.0 + 1e-9, "ipc {}", core.ipc());
+            prop_assert!(core.ipc() > 0.0);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn slower_memory_never_finishes_earlier(specs in ops_strategy()) {
-        let fast: Vec<OpSpec> = specs.iter().cloned().map(|mut s| { s.latency = 1; s }).collect();
-        let slow: Vec<OpSpec> = specs.iter().cloned().map(|mut s| { s.latency = 200; s }).collect();
-        let (_, t_fast, _) = run(&fast);
-        let (_, t_slow, _) = run(&slow);
-        prop_assert!(t_slow >= t_fast, "slow {} < fast {}", t_slow, t_fast);
-    }
+#[test]
+fn slower_memory_never_finishes_earlier() {
+    check_with(
+        &cases64(),
+        &[],
+        "slower_memory_never_finishes_earlier",
+        ops_strategy(),
+        |raw| {
+            let specs = specs_of(raw);
+            let fast: Vec<OpSpec> = specs
+                .iter()
+                .cloned()
+                .map(|mut s| {
+                    s.latency = 1;
+                    s
+                })
+                .collect();
+            let slow: Vec<OpSpec> = specs
+                .iter()
+                .cloned()
+                .map(|mut s| {
+                    s.latency = 200;
+                    s
+                })
+                .collect();
+            let (_, t_fast, _) = run(&fast);
+            let (_, t_slow, _) = run(&slow);
+            prop_assert!(t_slow >= t_fast, "slow {} < fast {}", t_slow, t_fast);
+            Ok(())
+        },
+    );
 }

@@ -55,10 +55,7 @@ impl ChannelSim {
         banks: usize,
         lines_per_block: u64,
     ) -> Self {
-        let next_refresh = timing
-            .m1
-            .t_refi
-            .map_or(Cycle::NEVER, |refi| Cycle(refi));
+        let next_refresh = timing.m1.t_refi.map_or(Cycle::NEVER, |refi| Cycle(refi));
         ChannelSim {
             timing,
             banks_m1: vec![BankState::default(); banks],
@@ -384,7 +381,13 @@ impl ChannelSim {
             .chain(self.write_q.iter())
             .map(|q| {
                 let (first_cmd, _, _, _, _) = self.plan(q, now);
-                (q.req.id, q.req.kind, q.req.loc, q.enq.raw(), first_cmd.raw())
+                (
+                    q.req.id,
+                    q.req.kind,
+                    q.req.loc,
+                    q.enq.raw(),
+                    first_cmd.raw(),
+                )
             })
             .collect()
     }
@@ -397,7 +400,14 @@ impl ChannelSim {
         };
         banks
             .iter()
-            .map(|b| (b.open_row, b.cas_ready.raw(), b.pre_ready.raw(), b.hit_streak))
+            .map(|b| {
+                (
+                    b.open_row,
+                    b.cas_ready.raw(),
+                    b.pre_ready.raw(),
+                    b.hit_streak,
+                )
+            })
             .collect()
     }
 
@@ -607,7 +617,7 @@ mod tests {
         };
         let done = c.begin_swap(Cycle(0), m1, m2);
         assert_eq!(done.raw(), 637); // 796.25 ns at 1.25 ns/cycle
-        // A read pushed during the swap is served only afterwards.
+                                     // A read pushed during the swap is served only afterwards.
         c.push(rd(1, Module::M1, 5, 2), Cycle(10));
         let out = run_until_idle(&mut c, Cycle(10));
         assert!(out[0].done > done);

@@ -3,7 +3,8 @@
 //! minimum service latency respected), and monotonic event-driven
 //! progress under random request streams.
 
-use proptest::prelude::*;
+use profess_check::strategy::{any_bool, tuple2, tuple5, u32_range, u64_range, u8_range, vec_of};
+use profess_check::{check_with, prop_assert, prop_assert_eq, Config, Strategy};
 use profess_mem::{AccessKind, ChannelSim, PhysRequest, Served};
 use profess_types::config::{EnergyConfig, MemTimingConfig};
 use profess_types::geometry::{MemLoc, Module};
@@ -18,19 +19,38 @@ struct Req {
     write: bool,
 }
 
-fn req_strategy() -> impl Strategy<Value = Vec<Req>> {
-    proptest::collection::vec(
-        (0u8..20, 0u8..16, 0u8..8, any::<bool>(), any::<bool>()).prop_map(
-            |(gap, bank, row, m2, write)| Req {
-                gap,
-                bank,
-                row,
-                m2,
-                write,
-            },
+impl Req {
+    fn from_tuple(&(gap, bank, row, m2, write): &(u8, u8, u8, bool, bool)) -> Req {
+        Req {
+            gap,
+            bank,
+            row,
+            m2,
+            write,
+        }
+    }
+}
+
+/// Raw request streams; tuples are mapped to [`Req`] inside the
+/// properties so shrinking stays in the generator's own domain.
+fn req_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, bool, bool)>> {
+    vec_of(
+        tuple5(
+            u8_range(0..20),
+            u8_range(0..16),
+            u8_range(0..8),
+            any_bool(),
+            any_bool(),
         ),
         1..120,
     )
+}
+
+fn cases64() -> Config {
+    Config {
+        cases: 64,
+        ..Config::default()
+    }
 }
 
 fn drive(reqs: &[Req]) -> (Vec<(u64, Cycle)>, Vec<Served>) {
@@ -77,36 +97,90 @@ fn drive(reqs: &[Req]) -> (Vec<(u64, Cycle)>, Vec<Served>) {
     (pushed, served)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn conservation_and_causality() {
+    check_with(
+        &cases64(),
+        &[],
+        "conservation_and_causality",
+        req_strategy(),
+        |raw| {
+            let reqs: Vec<Req> = raw.iter().map(Req::from_tuple).collect();
+            let (pushed, served) = drive(&reqs);
+            // Every request served exactly once.
+            prop_assert_eq!(served.len(), pushed.len());
+            let mut ids: Vec<u64> = served.iter().map(|s| s.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), pushed.len());
+            // Causality and minimum latency: data cannot complete before
+            // enqueue + CL + burst (row hit on an open bank is the floor).
+            let t = MemTimingConfig::paper();
+            for s in &served {
+                let (_, enq) = pushed[s.id as usize];
+                prop_assert_eq!(s.enqueued, enq);
+                let min_lat = t.m1.t_cl + t.m1.t_burst;
+                prop_assert!(
+                    s.done.raw() >= enq.raw() + min_lat,
+                    "id {} done {} < enq {} + {}",
+                    s.id,
+                    s.done,
+                    enq,
+                    min_lat
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn conservation_and_causality(reqs in req_strategy()) {
-        let (pushed, served) = drive(&reqs);
-        // Every request served exactly once.
-        prop_assert_eq!(served.len(), pushed.len());
-        let mut ids: Vec<u64> = served.iter().map(|s| s.id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        prop_assert_eq!(ids.len(), pushed.len());
-        // Causality and minimum latency: data cannot complete before
-        // enqueue + CL + burst (row hit on an open bank is the floor).
-        let t = MemTimingConfig::paper();
-        for s in &served {
-            let (_, enq) = pushed[s.id as usize];
-            prop_assert_eq!(s.enqueued, enq);
-            let min_lat = t.m1.t_cl + t.m1.t_burst;
-            prop_assert!(
-                s.done.raw() >= enq.raw() + min_lat,
-                "id {} done {} < enq {} + {}",
-                s.id, s.done, enq, min_lat
-            );
-        }
-    }
+#[test]
+fn m2_first_access_slower_than_m1() {
+    check_with(
+        &cases64(),
+        &[],
+        "m2_first_access_slower_than_m1",
+        tuple2(u32_range(0..16), u64_range(0..8)),
+        |&(bank, row)| {
+            let mk = |module| {
+                let mut ch = ChannelSim::new(
+                    MemTimingConfig::paper(),
+                    EnergyConfig::default_values(),
+                    16,
+                    32,
+                );
+                let mut served = Vec::new();
+                ch.push(
+                    PhysRequest {
+                        id: 0,
+                        kind: AccessKind::Read,
+                        loc: MemLoc { module, bank, row },
+                    },
+                    Cycle(0),
+                );
+                let mut now = Cycle(0);
+                ch.advance(now, &mut served);
+                while !ch.is_idle() {
+                    now = ch.next_event(now);
+                    ch.advance(now, &mut served);
+                }
+                served[0].done
+            };
+            prop_assert!(mk(Module::M2) > mk(Module::M1));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn m2_first_access_slower_than_m1(bank in 0u32..16, row in 0u64..8) {
-        let mk = |module| {
+#[test]
+fn energy_counts_match_traffic() {
+    check_with(
+        &cases64(),
+        &[],
+        "energy_counts_match_traffic",
+        req_strategy(),
+        |raw| {
+            let reqs: Vec<Req> = raw.iter().map(Req::from_tuple).collect();
             let mut ch = ChannelSim::new(
                 MemTimingConfig::paper(),
                 EnergyConfig::default_values(),
@@ -114,57 +188,43 @@ proptest! {
                 32,
             );
             let mut served = Vec::new();
-            ch.push(
-                PhysRequest { id: 0, kind: AccessKind::Read, loc: MemLoc { module, bank, row } },
-                Cycle(0),
-            );
             let mut now = Cycle(0);
+            let mut reads = 0u64;
+            let mut writes = 0u64;
+            for (i, r) in reqs.iter().enumerate() {
+                if r.write {
+                    writes += 1
+                } else {
+                    reads += 1
+                }
+                ch.push(
+                    PhysRequest {
+                        id: i as u64,
+                        kind: if r.write {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                        loc: MemLoc {
+                            module: if r.m2 { Module::M2 } else { Module::M1 },
+                            bank: u32::from(r.bank),
+                            row: u64::from(r.row),
+                        },
+                    },
+                    now,
+                );
+            }
             ch.advance(now, &mut served);
             while !ch.is_idle() {
                 now = ch.next_event(now);
                 ch.advance(now, &mut served);
             }
-            served[0].done
-        };
-        prop_assert!(mk(Module::M2) > mk(Module::M1));
-    }
-
-    #[test]
-    fn energy_counts_match_traffic(reqs in req_strategy()) {
-        let mut ch = ChannelSim::new(
-            MemTimingConfig::paper(),
-            EnergyConfig::default_values(),
-            16,
-            32,
-        );
-        let mut served = Vec::new();
-        let mut now = Cycle(0);
-        let mut reads = 0u64;
-        let mut writes = 0u64;
-        for (i, r) in reqs.iter().enumerate() {
-            if r.write { writes += 1 } else { reads += 1 }
-            ch.push(
-                PhysRequest {
-                    id: i as u64,
-                    kind: if r.write { AccessKind::Write } else { AccessKind::Read },
-                    loc: MemLoc {
-                        module: if r.m2 { Module::M2 } else { Module::M1 },
-                        bank: u32::from(r.bank),
-                        row: u64::from(r.row),
-                    },
-                },
-                now,
-            );
-        }
-        ch.advance(now, &mut served);
-        while !ch.is_idle() {
-            now = ch.next_event(now);
-            ch.advance(now, &mut served);
-        }
-        let e = ch.energy();
-        prop_assert_eq!(e.m1_reads + e.m2_reads, reads);
-        prop_assert_eq!(e.m1_writes + e.m2_writes, writes);
-        // Activations cannot exceed accesses.
-        prop_assert!(e.m1_acts + e.m2_acts <= reads + writes);
-    }
+            let e = ch.energy();
+            prop_assert_eq!(e.m1_reads + e.m2_reads, reads);
+            prop_assert_eq!(e.m1_writes + e.m2_writes, writes);
+            // Activations cannot exceed accesses.
+            prop_assert!(e.m1_acts + e.m2_acts <= reads + writes);
+            Ok(())
+        },
+    );
 }

@@ -13,9 +13,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod boxplot;
+pub mod emit;
 pub mod table;
 
 pub use boxplot::BoxPlot;
+pub use emit::{Csv, Json};
 
 /// Slowdown of one program (eq. 1).
 ///

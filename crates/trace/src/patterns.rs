@@ -8,8 +8,7 @@
 //! policies: MDM's per-block cost-benefit analysis wins exactly when some
 //! 2 KB blocks are worth promoting on first touch and others are not.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use profess_rng::Rng;
 
 /// Lines per 2 KB swap block.
 pub const LINES_PER_BLOCK: u64 = 32;
@@ -26,7 +25,7 @@ pub struct Ref {
 /// An address-pattern generator.
 pub trait Pattern {
     /// Produces the next reference.
-    fn next_ref(&mut self, rng: &mut SmallRng) -> Ref;
+    fn next_ref(&mut self, rng: &mut Rng) -> Ref;
 }
 
 /// Sequential sweep over the footprint: every line once per sweep, so each
@@ -50,7 +49,7 @@ impl Streaming {
 }
 
 impl Pattern for Streaming {
-    fn next_ref(&mut self, _rng: &mut SmallRng) -> Ref {
+    fn next_ref(&mut self, _rng: &mut Rng) -> Ref {
         let line = self.pos;
         self.pos = (self.pos + 1) % self.lines;
         Ref {
@@ -90,7 +89,7 @@ impl Strided {
 }
 
 impl Pattern for Strided {
-    fn next_ref(&mut self, _rng: &mut SmallRng) -> Ref {
+    fn next_ref(&mut self, _rng: &mut Rng) -> Ref {
         let line = (self.pos + self.phase) % self.lines;
         self.pos += self.stride;
         if self.pos >= self.lines {
@@ -124,7 +123,7 @@ impl PointerChase {
 }
 
 impl Pattern for PointerChase {
-    fn next_ref(&mut self, rng: &mut SmallRng) -> Ref {
+    fn next_ref(&mut self, rng: &mut Rng) -> Ref {
         Ref {
             line: rng.gen_range(0..self.lines),
             dependent: true,
@@ -155,13 +154,7 @@ impl Hotspot {
     /// # Panics
     ///
     /// Panics if the footprint holds no whole 2 KB block.
-    pub fn new(
-        lines: u64,
-        exponent: f64,
-        phase_refs: u64,
-        dependent: bool,
-        rng: &mut SmallRng,
-    ) -> Self {
+    pub fn new(lines: u64, exponent: f64, phase_refs: u64, dependent: bool, rng: &mut Rng) -> Self {
         let blocks = lines / LINES_PER_BLOCK;
         assert!(blocks > 0, "footprint smaller than one block");
         let mut cdf = Vec::with_capacity(blocks as usize);
@@ -186,27 +179,26 @@ impl Hotspot {
         h
     }
 
-    fn reshuffle(&mut self, rng: &mut SmallRng) {
+    fn reshuffle(&mut self, rng: &mut Rng) {
         let n = self.blocks as u32;
         let mut perm: Vec<u32> = (0..n).collect();
-        // Fisher-Yates.
-        for i in (1..perm.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            perm.swap(i, j);
-        }
+        rng.shuffle(&mut perm);
         self.perm = perm;
         self.refs_in_phase = 0;
     }
 }
 
 impl Pattern for Hotspot {
-    fn next_ref(&mut self, rng: &mut SmallRng) -> Ref {
+    fn next_ref(&mut self, rng: &mut Rng) -> Ref {
         if self.phase_refs > 0 && self.refs_in_phase >= self.phase_refs {
             self.reshuffle(rng);
         }
         self.refs_in_phase += 1;
-        let u: f64 = rng.gen();
-        let rank = match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        let u = rng.next_f64();
+        let rank = match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         };
         let block = u64::from(self.perm[rank]);
@@ -238,7 +230,7 @@ impl MultiStream {
     /// # Panics
     ///
     /// Panics if `lines` or `streams` is zero.
-    pub fn new(lines: u64, streams: usize, rng: &mut SmallRng) -> Self {
+    pub fn new(lines: u64, streams: usize, rng: &mut Rng) -> Self {
         assert!(lines > 0 && streams > 0);
         let cursors = (0..streams).map(|_| rng.gen_range(0..lines)).collect();
         MultiStream {
@@ -250,7 +242,7 @@ impl MultiStream {
 }
 
 impl Pattern for MultiStream {
-    fn next_ref(&mut self, _rng: &mut SmallRng) -> Ref {
+    fn next_ref(&mut self, _rng: &mut Rng) -> Ref {
         let i = self.next;
         self.next = (self.next + 1) % self.cursors.len();
         let line = self.cursors[i];
@@ -300,8 +292,8 @@ impl Mix {
 }
 
 impl Pattern for Mix {
-    fn next_ref(&mut self, rng: &mut SmallRng) -> Ref {
-        if rng.gen::<f64>() < self.p_second {
+    fn next_ref(&mut self, rng: &mut Rng) -> Ref {
+        if rng.next_f64() < self.p_second {
             self.second.next_ref(rng)
         } else {
             self.first.next_ref(rng)
@@ -309,9 +301,9 @@ impl Pattern for Mix {
     }
 }
 
-/// Convenience constructor for a seeded [`SmallRng`].
-pub fn seeded_rng(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
+/// Convenience constructor for a seeded [`Rng`].
+pub fn seeded_rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 #[cfg(test)]
@@ -369,7 +361,7 @@ mod tests {
         }
         let mut sorted: Vec<u64> = counts.values().copied().collect();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
-        let top10: u64 = sorted.iter().take(10, ).sum();
+        let top10: u64 = sorted.iter().take(10).sum();
         // Zipf(0.9) over 256 blocks: top-10 blocks take a large share.
         assert!(
             top10 as f64 > 0.2 * 20_000.0,
@@ -381,14 +373,18 @@ mod tests {
     fn hotspot_phases_drift() {
         let mut rng = seeded_rng(4);
         let mut h = Hotspot::new(32 * 128, 1.0, 1000, false, &mut rng);
-        let hot_block = |h: &mut Hotspot, rng: &mut SmallRng| {
+        let hot_block = |h: &mut Hotspot, rng: &mut Rng| {
             let mut counts: HashMap<u64, u64> = HashMap::new();
             for _ in 0..900 {
                 *counts
                     .entry(h.next_ref(rng).line / LINES_PER_BLOCK)
                     .or_default() += 1;
             }
-            counts.into_iter().max_by_key(|&(_, c)| c).expect("counts").0
+            counts
+                .into_iter()
+                .max_by_key(|&(_, c)| c)
+                .expect("counts")
+                .0
         };
         let first = hot_block(&mut h, &mut rng);
         // Force several phase changes; the hottest block should move at

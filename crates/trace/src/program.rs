@@ -2,8 +2,7 @@
 //! pattern with MPKI-derived instruction gaps and a write fraction.
 
 use profess_cpu::{MemOp, MemOpKind, OpSource};
-use rand::rngs::SmallRng;
-use rand::Rng;
+use profess_rng::Rng;
 
 use crate::patterns::{seeded_rng, Pattern};
 
@@ -24,7 +23,7 @@ pub struct ProgramParams {
 pub struct ProgramGen {
     params: ProgramParams,
     pattern: Box<dyn Pattern + Send>,
-    rng: SmallRng,
+    rng: Rng,
     instructions_emitted: u64,
     ops_emitted: u64,
     mean_gap: f64,
@@ -92,7 +91,7 @@ impl OpSource for ProgramGen {
         }
         let gap = self.sample_gap();
         let r = self.pattern.next_ref(&mut self.rng);
-        let is_write = self.rng.gen::<f64>() < self.params.write_frac;
+        let is_write = self.rng.next_f64() < self.params.write_frac;
         self.instructions_emitted += u64::from(gap) + 1;
         self.ops_emitted += 1;
         Some(MemOp {

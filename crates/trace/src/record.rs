@@ -24,7 +24,7 @@ use profess_cpu::{MemOp, MemOpKind, OpSource};
 pub const HEADER: &str = "# profess-trace v1";
 
 /// Serializable form of one memory operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceOp {
     /// Non-memory instructions before this op.
     pub gap: u32,

@@ -489,7 +489,10 @@ mod tests {
         let mem = MemTimingConfig::paper();
         let cycles = mem.swap_latency(32);
         let ns = mem.clock.cycles_to_ns(cycles);
-        assert!((ns - 796.25).abs() < 1e-6, "swap latency {ns} ns != 796.25 ns");
+        assert!(
+            (ns - 796.25).abs() < 1e-6,
+            "swap latency {ns} ns != 796.25 ns"
+        );
     }
 
     #[test]
@@ -520,8 +523,8 @@ mod tests {
         assert_eq!(paper.org.m1_bytes / scaled.org.m1_bytes, 32);
         // STC reach (groups per STC entry): 1/16 at paper scale, and the
         // deliberately doubled 1/8 at reduced scale (see `scaled_quad`).
-        let paper_reach = paper.org.num_groups()
-            / (paper.stc.entries as u64 * u64::from(paper.org.num_channels));
+        let paper_reach =
+            paper.org.num_groups() / (paper.stc.entries as u64 * u64::from(paper.org.num_channels));
         let scaled_reach = scaled.org.num_groups()
             / (scaled.stc.entries as u64 * u64::from(scaled.org.num_channels));
         assert_eq!(paper_reach, 16);

@@ -41,8 +41,7 @@ fn victim(restart: u32) -> Box<dyn OpSource> {
     // performance hinges on keeping that hot set in M1.
     let lines = 2 << 20 >> 6;
     let mut rng = seeded_rng(3000 + u64::from(restart));
-    let pattern: Box<dyn Pattern + Send> =
-        Box::new(Hotspot::new(lines, 0.9, 0, true, &mut rng));
+    let pattern: Box<dyn Pattern + Send> = Box::new(Hotspot::new(lines, 0.9, 0, true, &mut rng));
     Box::new(ProgramGen::new(
         ProgramParams {
             mpki: 20.0,

@@ -52,7 +52,11 @@ fn main() {
                 "  {:>10}: IPC {:.3} (solo {:.3})  slowdown {:.2}  M1 fraction {:.2}",
                 p.name,
                 p.ipc,
-                solo_ipcs[multi.programs.iter().position(|q| q.name == p.name).unwrap_or(0)],
+                solo_ipcs[multi
+                    .programs
+                    .iter()
+                    .position(|q| q.name == p.name)
+                    .unwrap_or(0)],
                 sdn,
                 p.m1_fraction()
             );

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see README.md): format, build, test — fully offline.
+#
+# The workspace is hermetic by policy: no external crates, so every step
+# must succeed with the registry unreachable. --offline makes a
+# regression (someone adding a crates.io dependency) fail loudly here
+# rather than at the first network-less build.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --workspace --offline"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "ci: all tier-1 checks passed"

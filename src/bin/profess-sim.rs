@@ -94,9 +94,16 @@ fn workload_of(flags: &HashMap<String, String>) -> Result<Workload, String> {
 }
 
 fn print_report(r: &SystemReport) {
-    println!("policy {} | {} cycles | {} requests | {} swaps ({:.2}%) | STC hit {:.1}% | {:.1} Mreq/J",
-        r.policy, r.elapsed_cycles, r.total_served, r.swaps,
-        100.0 * r.swap_fraction(), 100.0 * r.stc_hit_rate, r.requests_per_joule / 1e6);
+    println!(
+        "policy {} | {} cycles | {} requests | {} swaps ({:.2}%) | STC hit {:.1}% | {:.1} Mreq/J",
+        r.policy,
+        r.elapsed_cycles,
+        r.total_served,
+        r.swaps,
+        100.0 * r.swap_fraction(),
+        100.0 * r.stc_hit_rate,
+        r.requests_per_joule / 1e6
+    );
     for p in &r.programs {
         println!(
             "  {:>12}: IPC {:.3} | {} instr | M1 {:.2} | read lat {:.1} cyc | restarts {}",
@@ -133,11 +140,11 @@ fn main() -> ExitCode {
     let result = (|| -> Result<(), String> {
         match cmd.as_str() {
             "list" => {
-                println!("programs:  {}", SpecProgram::ALL.map(|p| p.name()).join(" "));
                 println!(
-                    "workloads: {}",
-                    workloads().map(|w| w.id).join(" ")
+                    "programs:  {}",
+                    SpecProgram::ALL.map(|p| p.name()).join(" ")
                 );
+                println!("workloads: {}", workloads().map(|w| w.id).join(" "));
                 println!(
                     "policies:  {}",
                     POLICIES
@@ -186,11 +193,8 @@ fn main() -> ExitCode {
                     .get("out")
                     .ok_or_else(|| "--out is required".to_string())?;
                 let cfg = config_of(&flags, false)?;
-                let mut gen = prog.generator(
-                    cfg.footprint_div,
-                    prog.budget_for_misses(ops),
-                    cfg.seed,
-                );
+                let mut gen =
+                    prog.generator(cfg.footprint_div, prog.budget_for_misses(ops), cfg.seed);
                 let f = std::fs::File::create(out).map_err(|e| e.to_string())?;
                 let n = record::record(&mut gen, ops, std::io::BufWriter::new(f))
                     .map_err(|e| e.to_string())?;

@@ -47,8 +47,11 @@ pub use profess_core as core;
 pub use profess_cpu as cpu;
 pub use profess_mem as mem;
 pub use profess_metrics as metrics;
+pub use profess_rng as rng;
 pub use profess_trace as trace;
 pub use profess_types as types;
+
+pub mod report;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {

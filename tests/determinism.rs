@@ -1,8 +1,29 @@
 //! Determinism: identical configurations and seeds must reproduce
 //! identical results (the simulator is a measurement instrument), and
 //! different seeds must actually change the run.
+//!
+//! The golden tests serialize the full [`SystemReport`] through
+//! [`profess::report::report_to_json`] and compare the *bytes*: the
+//! in-tree JSON emitter preserves field order and formats floats with
+//! exact shortest-round-trip notation, so any nondeterminism anywhere in
+//! a run — placement, sampling, migration, timing, energy — shows up as
+//! a string diff.
 
 use profess::prelude::*;
+use profess::report::report_to_json;
+
+/// Every migration policy the simulator implements.
+const ALL_POLICIES: [PolicyKind; 9] = [
+    PolicyKind::Static,
+    PolicyKind::Cameo,
+    PolicyKind::Pom,
+    PolicyKind::MemPod,
+    PolicyKind::Mdm,
+    PolicyKind::Profess,
+    PolicyKind::ProfessNoCase3,
+    PolicyKind::SilcFm,
+    PolicyKind::RsmPom,
+];
 
 fn run_with_seed(seed: u64) -> SystemReport {
     let mut cfg = SystemConfig::scaled_single();
@@ -10,7 +31,10 @@ fn run_with_seed(seed: u64) -> SystemReport {
     cfg.rsm.m_samp = 1024;
     SystemBuilder::new(cfg)
         .policy(PolicyKind::Profess)
-        .spec_program(SpecProgram::Soplex, SpecProgram::Soplex.budget_for_misses(10_000))
+        .spec_program(
+            SpecProgram::Soplex,
+            SpecProgram::Soplex.budget_for_misses(10_000),
+        )
         .run()
 }
 
@@ -57,4 +81,83 @@ fn multiprogram_same_seed_same_result() {
     for (x, y) in a.programs.iter().zip(&b.programs) {
         assert!((x.ipc - y.ipc).abs() < 1e-12);
     }
+}
+
+/// Golden test: a single-program run under every policy, serialized
+/// twice, must be byte-identical — and the serialized report must
+/// survive a JSON parse round-trip.
+#[test]
+fn golden_report_identical_across_runs_for_every_policy() {
+    for pk in ALL_POLICIES {
+        let run = || {
+            let mut cfg = SystemConfig::scaled_single();
+            cfg.seed = 7;
+            cfg.rsm.m_samp = 1024;
+            SystemBuilder::new(cfg)
+                .policy(pk)
+                .spec_program(
+                    SpecProgram::Milc,
+                    SpecProgram::Milc.budget_for_misses(5_000),
+                )
+                .run()
+        };
+        let a = report_to_json(&run()).to_string();
+        let b = report_to_json(&run()).to_string();
+        assert_eq!(a, b, "policy {} is not run-to-run deterministic", pk.name());
+        let parsed = profess::metrics::Json::parse(&a)
+            .unwrap_or_else(|e| panic!("policy {}: emitted invalid JSON: {e:?}", pk.name()));
+        assert_eq!(
+            parsed.to_string(),
+            a,
+            "policy {}: JSON not canonical",
+            pk.name()
+        );
+    }
+}
+
+/// Golden test: a quad-core multiprogram workload under every policy,
+/// serialized twice, must be byte-identical.
+#[test]
+fn golden_multiprogram_report_identical_for_every_policy() {
+    for pk in ALL_POLICIES {
+        let run = || {
+            let mut cfg = SystemConfig::scaled_quad();
+            cfg.seed = 99;
+            cfg.rsm.m_samp = 512;
+            let w = workloads()[0];
+            let mut b = SystemBuilder::new(cfg).policy(pk);
+            for p in w.programs {
+                b = b.spec_program(p, p.budget_for_misses(2_000));
+            }
+            b.run()
+        };
+        let a = report_to_json(&run()).to_string();
+        let b = report_to_json(&run()).to_string();
+        assert_eq!(
+            a,
+            b,
+            "policy {} is not deterministic on a multiprogram workload",
+            pk.name()
+        );
+    }
+}
+
+/// Two *distinct* multiprogram workloads must not serialize identically
+/// (guards against the report accidentally ignoring the programs).
+#[test]
+fn golden_reports_distinguish_workloads() {
+    let run = |wi: usize| {
+        let mut cfg = SystemConfig::scaled_quad();
+        cfg.seed = 5;
+        cfg.rsm.m_samp = 512;
+        let w = workloads()[wi];
+        let mut b = SystemBuilder::new(cfg).policy(PolicyKind::Profess);
+        for p in w.programs {
+            b = b.spec_program(p, p.budget_for_misses(2_000));
+        }
+        b.run()
+    };
+    let a = report_to_json(&run(0)).to_string();
+    let b = report_to_json(&run(1)).to_string();
+    assert_ne!(a, b, "different workloads serialized identically");
 }
