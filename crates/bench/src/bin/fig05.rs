@@ -12,7 +12,8 @@
 //! reduced-M1 system MDM wins (+30% in the paper) — both checks appear at
 //! the end of the output.
 
-use profess_bench::{run_solo, summarize, target_from_args, SOLO_TARGET_MISSES};
+use profess_bench::harness::BenchJson;
+use profess_bench::{run_solo, summarize, target_from_args, Pool, SOLO_TARGET_MISSES};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_metrics::BoxPlot;
@@ -22,15 +23,23 @@ use profess_types::SystemConfig;
 fn main() {
     let target = target_from_args(SOLO_TARGET_MISSES);
     let cfg = SystemConfig::scaled_single();
+    let pool = Pool::from_env();
+    let mut bench = BenchJson::start("fig05");
     println!("Figure 5: single-program IPC of MDM normalized to PoM\n");
+    let progs: Vec<SpecProgram> = SpecProgram::ALL
+        .into_iter()
+        .filter(|&p| p != SpecProgram::Libquantum) // shown separately below
+        .collect();
+    let reports = pool.map(&progs, |&prog| {
+        (
+            run_solo(&cfg, PolicyKind::Pom, prog, target),
+            run_solo(&cfg, PolicyKind::Mdm, prog, target),
+        )
+    });
+    bench.add_ops(2 * reports.len() as u64);
     let mut t = TextTable::new(vec!["program", "PoM IPC", "MDM IPC", "MDM/PoM"]);
     let mut ratios = Vec::new();
-    for prog in SpecProgram::ALL {
-        if prog == SpecProgram::Libquantum {
-            continue; // shown separately below, as in the paper
-        }
-        let pom = run_solo(&cfg, PolicyKind::Pom, prog, target);
-        let mdm = run_solo(&cfg, PolicyKind::Mdm, prog, target);
+    for (prog, (pom, mdm)) in progs.iter().zip(&reports) {
         let r = mdm.programs[0].ipc / pom.programs[0].ipc;
         ratios.push(r);
         t.row(vec![
@@ -52,25 +61,30 @@ fn main() {
     println!("Paper: avg +14%, up to +38% (lbm), omnetpp ~-1.5%.\n");
 
     // libquantum at default scale (fits M1) and with a reduced M1.
-    let lq = SpecProgram::Libquantum;
-    let pom = run_solo(&cfg, PolicyKind::Pom, lq, target);
-    let mdm = run_solo(&cfg, PolicyKind::Mdm, lq, target);
-    println!(
-        "libquantum, default scale (footprint fits M1): MDM/PoM = {:.3} (paper: ~1.00)",
-        mdm.programs[0].ipc / pom.programs[0].ipc
-    );
     // The paper's reduced system: 4 MB M1 / 32 MB M2 at its scale; ours is
     // that divided by the same 32 => 128 KB M1. The smallest geometry that
     // keeps 128 regions is 512 KB M1, still well below the 1 MB footprint.
+    let lq = SpecProgram::Libquantum;
     let small =
         profess_types::geometry::Geometry::new(2048, 64, 4096, 1, 512 << 10, 8, 128, 16, 8192, 8);
     let mut cfg_small = cfg.clone();
     cfg_small.org = small;
     cfg_small.stc.entries = 32;
-    let pom = run_solo(&cfg_small, PolicyKind::Pom, lq, target);
-    let mdm = run_solo(&cfg_small, PolicyKind::Mdm, lq, target);
+    let lq_jobs = [
+        (&cfg, PolicyKind::Pom),
+        (&cfg, PolicyKind::Mdm),
+        (&cfg_small, PolicyKind::Pom),
+        (&cfg_small, PolicyKind::Mdm),
+    ];
+    let lq_reports = pool.map(&lq_jobs, |&(c, pk)| run_solo(c, pk, lq, target));
+    bench.add_ops(lq_reports.len() as u64);
+    println!(
+        "libquantum, default scale (footprint fits M1): MDM/PoM = {:.3} (paper: ~1.00)",
+        lq_reports[1].programs[0].ipc / lq_reports[0].programs[0].ipc
+    );
     println!(
         "libquantum, reduced M1 (512 KB < footprint): MDM/PoM = {:.3} (paper: +30% in its reduced system)",
-        mdm.programs[0].ipc / pom.programs[0].ipc
+        lq_reports[3].programs[0].ipc / lq_reports[2].programs[0].ipc
     );
+    bench.finish();
 }

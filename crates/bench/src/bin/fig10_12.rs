@@ -9,14 +9,22 @@
 //! w18); w04/w05/w10/w15/w18 can be *less* fair than PoM since MDM
 //! ignores slowdowns, just like PoM.
 
-use profess_bench::{normalized_sweep, print_sweep, target_from_args, MULTI_TARGET_MISSES};
+use profess_bench::harness::BenchJson;
+use profess_bench::{
+    normalized_sweep, print_sweep, sweep_sim_count, target_from_args, MULTI_TARGET_MISSES,
+};
 use profess_core::system::PolicyKind;
 use profess_types::SystemConfig;
 
 fn main() {
     let target = target_from_args(MULTI_TARGET_MISSES);
     let cfg = SystemConfig::scaled_quad();
+    let mut bench = BenchJson::start("fig10_12");
     let rows = normalized_sweep(&cfg, PolicyKind::Mdm, target);
+    bench.add_ops(sweep_sim_count(
+        &[PolicyKind::Pom, PolicyKind::Mdm],
+        &profess_trace::workloads(),
+    ));
     let (unf, ws, eff) = print_sweep(
         "Figures 10-12: MDM normalized to PoM over the 19 workloads",
         &rows,
@@ -37,4 +45,5 @@ fn main() {
             "no"
         }
     );
+    bench.finish();
 }

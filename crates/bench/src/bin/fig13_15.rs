@@ -13,7 +13,10 @@
 //! against plain MDM: RSM guidance should improve fairness, weighted
 //! speedup and swap fraction relative to MDM on most workloads.
 
-use profess_bench::{normalized_sweep, print_sweep, target_from_args, MULTI_TARGET_MISSES};
+use profess_bench::harness::BenchJson;
+use profess_bench::{
+    normalized_sweep, print_sweep, sweep_sim_count, target_from_args, MULTI_TARGET_MISSES,
+};
 use profess_core::system::PolicyKind;
 use profess_metrics::geomean;
 use profess_types::SystemConfig;
@@ -21,7 +24,12 @@ use profess_types::SystemConfig;
 fn main() {
     let target = target_from_args(MULTI_TARGET_MISSES);
     let cfg = SystemConfig::scaled_quad();
+    let mut bench = BenchJson::start("fig13_15");
     let profess = normalized_sweep(&cfg, PolicyKind::Profess, target);
+    bench.add_ops(sweep_sim_count(
+        &[PolicyKind::Pom, PolicyKind::Profess],
+        &profess_trace::workloads(),
+    ));
     let (unf, ws, eff) = print_sweep(
         "Figures 13-15: ProFess normalized to PoM over the 19 workloads",
         &profess,
@@ -35,6 +43,10 @@ fn main() {
     );
     // Mechanism check vs plain MDM.
     let mdm = normalized_sweep(&cfg, PolicyKind::Mdm, target);
+    bench.add_ops(sweep_sim_count(
+        &[PolicyKind::Pom, PolicyKind::Mdm],
+        &profess_trace::workloads(),
+    ));
     let rel = |a: &[f64], b: &[f64]| geomean(a) / geomean(b);
     let unf_vs_mdm = rel(
         &profess.iter().map(|r| r.unfairness).collect::<Vec<_>>(),
@@ -67,4 +79,5 @@ fn main() {
             "shape PARTIALLY holds (see EXPERIMENTS.md)"
         }
     );
+    bench.finish();
 }

@@ -7,22 +7,33 @@
 //! because it lacks cost-benefit analysis; this motivates PoM as the
 //! paper's baseline.
 
-use profess_bench::{run_solo, run_workload, summarize, target_from_args, MULTI_TARGET_MISSES};
+use profess_bench::harness::BenchJson;
+use profess_bench::{
+    run_solo, run_workload, summarize, target_from_args, Pool, MULTI_TARGET_MISSES,
+};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
-use profess_trace::{workloads, SpecProgram};
+use profess_trace::{workloads, SpecProgram, Workload};
 use profess_types::SystemConfig;
 
 fn main() {
     let target = target_from_args(MULTI_TARGET_MISSES);
+    let pool = Pool::from_env();
+    let mut bench = BenchJson::start("mempod_vs_pom");
     println!("MemPod vs PoM: average read latency (AMMAT proxy)\n");
     // Single-program.
     let cfg1 = SystemConfig::scaled_single();
+    let progs: Vec<SpecProgram> = SpecProgram::ALL.into_iter().collect();
+    let solo_reports = pool.map(&progs, |&prog| {
+        (
+            run_solo(&cfg1, PolicyKind::Pom, prog, target),
+            run_solo(&cfg1, PolicyKind::MemPod, prog, target),
+        )
+    });
+    bench.add_ops(2 * solo_reports.len() as u64);
     let mut t = TextTable::new(vec!["program", "PoM lat", "MemPod lat", "ratio"]);
     let mut solo_ratios = Vec::new();
-    for prog in SpecProgram::ALL {
-        let pom = run_solo(&cfg1, PolicyKind::Pom, prog, target);
-        let pod = run_solo(&cfg1, PolicyKind::MemPod, prog, target);
+    for (prog, (pom, pod)) in progs.iter().zip(&solo_reports) {
         let r = pod.avg_read_latency_cycles / pom.avg_read_latency_cycles;
         solo_ratios.push(r);
         t.row(vec![
@@ -40,12 +51,18 @@ fn main() {
     );
     // Multi-program over a subset of workloads (every fourth, for time).
     let cfg4 = SystemConfig::scaled_quad();
-    let mut multi_ratios = Vec::new();
-    for w in workloads().iter().step_by(4) {
-        let pom = run_workload(&cfg4, PolicyKind::Pom, w, target);
-        let pod = run_workload(&cfg4, PolicyKind::MemPod, w, target);
-        multi_ratios.push(pod.avg_read_latency_cycles / pom.avg_read_latency_cycles);
-    }
+    let subset: Vec<Workload> = workloads().iter().step_by(4).copied().collect();
+    let multi_reports = pool.map(&subset, |w| {
+        (
+            run_workload(&cfg4, PolicyKind::Pom, w, target),
+            run_workload(&cfg4, PolicyKind::MemPod, w, target),
+        )
+    });
+    bench.add_ops(2 * multi_reports.len() as u64);
+    let multi_ratios: Vec<f64> = multi_reports
+        .iter()
+        .map(|(pom, pod)| pod.avg_read_latency_cycles / pom.avg_read_latency_cycles)
+        .collect();
     let m = summarize(&multi_ratios);
     println!(
         "multi-program geomean ({} workloads): {:+.1}% (paper: +18%)",
@@ -60,4 +77,5 @@ fn main() {
             "DEVIATES: MemPod did not lose to PoM here"
         }
     );
+    bench.finish();
 }

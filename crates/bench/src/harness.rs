@@ -12,8 +12,17 @@
 //! * `PROFESS_BENCH_WARMUP` — warm-up iterations (default 3);
 //! * `PROFESS_BENCH_FILTER` — substring filter on benchmark names (the
 //!   first CLI argument does the same, as `cargo bench -- <filter>`).
+//!
+//! After a run, [`BenchJson`] (used by the figure binaries and by
+//! [`Runner::finish_json`]) writes a machine-readable
+//! `results/BENCH_<name>.json` perf artifact — wall time, ops, ops/sec
+//! and the thread count — so the performance trajectory is tracked
+//! across changes. `PROFESS_RESULTS_DIR` overrides the output directory.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+use profess_metrics::Json;
 
 /// Runner configuration.
 #[derive(Debug, Clone)]
@@ -58,19 +67,23 @@ pub struct BenchStats {
 }
 
 /// The benchmark runner. Collects results for a final summary table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Runner {
     cfg: BenchConfig,
     results: Vec<(String, BenchStats)>,
+    started: Instant,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
 }
 
 impl Runner {
     /// Creates a runner from the environment/CLI configuration.
     pub fn new() -> Self {
-        Runner {
-            cfg: BenchConfig::default(),
-            results: Vec::new(),
-        }
+        Runner::with_config(BenchConfig::default())
     }
 
     /// Creates a runner with an explicit configuration.
@@ -78,6 +91,7 @@ impl Runner {
         Runner {
             cfg,
             results: Vec::new(),
+            started: Instant::now(),
         }
     }
 
@@ -136,6 +150,132 @@ impl Runner {
     /// Prints a closing summary line.
     pub fn finish(self) {
         println!("ran {} benchmark(s)", self.results.len());
+    }
+
+    /// Like [`Runner::finish`], but also writes the
+    /// `results/BENCH_<name>.json` perf artifact with the per-benchmark
+    /// timing summaries.
+    pub fn finish_json(self, name: &str) {
+        // Anchor the artifact's wall clock to the runner's construction
+        // so it covers the benchmarks, not just the write-out.
+        let mut bj = BenchJson::start(name);
+        bj.started = self.started;
+        for (bench, stats) in &self.results {
+            bj.add_ops(u64::from(stats.samples));
+            bj.push_result(bench, *stats);
+        }
+        println!("ran {} benchmark(s)", self.results.len());
+        bj.finish();
+    }
+}
+
+/// The directory perf artifacts are written to: `PROFESS_RESULTS_DIR`,
+/// or the workspace-level `results/`.
+///
+/// `cargo bench`/`cargo test` set the working directory to the *package*
+/// root (`crates/bench`), not the workspace root, so a bare relative
+/// `results` would scatter artifacts. Walk up to the outermost ancestor
+/// holding a `Cargo.lock` (the workspace root owns the lockfile) and
+/// anchor there; outside any cargo tree, fall back to `./results`.
+pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("PROFESS_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.ancestors()
+        .filter(|a| a.join("Cargo.lock").exists())
+        .last()
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Collects one run's perf numbers and writes `results/BENCH_<name>.json`.
+///
+/// The artifact records the wall time from [`BenchJson::start`] to
+/// [`BenchJson::finish`], an ops count supplied by the caller (the
+/// figure binaries count simulations; [`Runner::finish_json`] counts
+/// timed samples), the derived ops/sec, and the worker-thread count the
+/// sweeps ran with, so speedups across changes and thread counts can be
+/// compared offline.
+#[derive(Debug)]
+pub struct BenchJson {
+    name: String,
+    threads: usize,
+    ops: u64,
+    started: Instant,
+    results: Vec<(String, BenchStats)>,
+}
+
+impl BenchJson {
+    /// Starts the wall-time clock for artifact `name`; the thread count
+    /// recorded is the pool default (`PROFESS_THREADS` semantics).
+    pub fn start(name: &str) -> Self {
+        BenchJson {
+            name: name.to_string(),
+            threads: profess_par::default_threads(),
+            ops: 0,
+            started: Instant::now(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Adds `n` to the ops counter (e.g. simulations completed).
+    pub fn add_ops(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Attaches one [`Runner`] benchmark summary to the artifact.
+    pub fn push_result(&mut self, bench: &str, stats: BenchStats) {
+        self.results.push((bench.to_string(), stats));
+    }
+
+    /// Writes `BENCH_<name>.json` into [`results_dir`] and reports the
+    /// path (or a warning on I/O failure — a missing artifact must not
+    /// fail the run it measures).
+    pub fn finish(self) {
+        let dir = results_dir();
+        self.finish_into(&dir);
+    }
+
+    /// [`BenchJson::finish`] with an explicit output directory.
+    pub fn finish_into(self, dir: &std::path::Path) {
+        let wall = self.started.elapsed().as_secs_f64();
+        let per_sec = if wall > 0.0 {
+            self.ops as f64 / wall
+        } else {
+            0.0
+        };
+        let json = Json::obj([
+            ("bench", Json::Str(self.name.clone())),
+            ("threads", Json::UInt(self.threads as u64)),
+            ("wall_seconds", Json::Num(wall)),
+            ("ops", Json::UInt(self.ops)),
+            ("ops_per_sec", Json::Num(per_sec)),
+            (
+                "results",
+                Json::Arr(
+                    self.results
+                        .iter()
+                        .map(|(bench, s)| {
+                            Json::obj([
+                                ("name", Json::Str(bench.clone())),
+                                ("min_ns", Json::UInt(s.min.as_nanos() as u64)),
+                                ("median_ns", Json::UInt(s.median.as_nanos() as u64)),
+                                ("mean_ns", Json::UInt(s.mean.as_nanos() as u64)),
+                                ("samples", Json::UInt(u64::from(s.samples))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let io =
+            std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json.to_string()));
+        match io {
+            Ok(()) => println!("perf artifact: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
     }
 }
 
@@ -207,6 +347,35 @@ mod tests {
         assert!(r.results().is_empty());
         r.bench("channel_10k", || ());
         assert_eq!(r.results().len(), 1);
+    }
+
+    #[test]
+    fn bench_json_artifact_round_trips() {
+        let dir = std::env::temp_dir().join(format!("profess_bench_json_{}", std::process::id()));
+        let mut bj = BenchJson::start("unit");
+        bj.add_ops(42);
+        bj.push_result(
+            "sub",
+            BenchStats {
+                min: Duration::from_nanos(10),
+                median: Duration::from_nanos(20),
+                mean: Duration::from_nanos(30),
+                samples: 3,
+            },
+        );
+        bj.finish_into(&dir);
+        let raw = std::fs::read_to_string(dir.join("BENCH_unit.json")).expect("artifact written");
+        let json = Json::parse(&raw).expect("valid JSON");
+        assert_eq!(json.get("bench"), Some(&Json::Str("unit".into())));
+        assert_eq!(json.get("ops"), Some(&Json::UInt(42)));
+        assert!(matches!(json.get("threads"), Some(Json::UInt(n)) if *n >= 1));
+        assert!(json.get("wall_seconds").is_some() && json.get("ops_per_sec").is_some());
+        let Some(Json::Arr(results)) = json.get("results") else {
+            panic!("results array missing");
+        };
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("median_ns"), Some(&Json::UInt(20)));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,6 +17,8 @@ use profess_metrics::{unfairness, weighted_speedup};
 use profess_trace::{SpecProgram, Workload};
 use profess_types::SystemConfig;
 
+pub use profess_par::Pool;
+
 /// Default memory operations per program for single-program experiments.
 pub const SOLO_TARGET_MISSES: u64 = 120_000;
 
@@ -165,6 +167,39 @@ impl SoloCache {
             .map(|&p| self.solo_ipc(cfg, policy, p, target_misses))
             .collect()
     }
+
+    /// Pre-fills the cache for every (policy, program) pair the given
+    /// workloads will ask for, running the missing solos on `pool`.
+    ///
+    /// Each solo run is independent and internally deterministic, so the
+    /// cache ends up with exactly the values serial on-demand filling
+    /// would produce.
+    pub fn warm(
+        &mut self,
+        pool: &Pool,
+        cfg: &SystemConfig,
+        policies: &[PolicyKind],
+        workloads: &[Workload],
+        target_misses: u64,
+    ) {
+        let mut todo: Vec<(PolicyKind, SpecProgram)> = Vec::new();
+        for &pk in policies {
+            for w in workloads {
+                for p in w.programs {
+                    let key = (pk.name(), p);
+                    if !self.entries.contains_key(&key) && !todo.contains(&(pk, p)) {
+                        todo.push((pk, p));
+                    }
+                }
+            }
+        }
+        let ipcs = pool.map(&todo, |&(pk, p)| {
+            run_solo(cfg, pk, p, target_misses).programs[0].ipc
+        });
+        for (&(pk, p), ipc) in todo.iter().zip(ipcs) {
+            self.entries.insert((pk.name(), p), ipc);
+        }
+    }
 }
 
 /// One row of a normalized multiprogram sweep: `policy` metrics over the
@@ -188,22 +223,59 @@ pub struct NormalizedRow {
 /// Runs every Table 10 workload under `policy` and the PoM baseline and
 /// returns the normalized figures of merit. The solo references for the
 /// slowdowns are measured per policy, as in the paper (eq. 1).
+///
+/// Simulations run on a [`Pool`] sized from `PROFESS_THREADS` (default:
+/// available parallelism); the result is byte-identical to a serial
+/// sweep regardless of the thread count.
 pub fn normalized_sweep(
     cfg: &SystemConfig,
     policy: PolicyKind,
     target_misses: u64,
 ) -> Vec<NormalizedRow> {
+    normalized_sweep_on(
+        &Pool::from_env(),
+        cfg,
+        policy,
+        target_misses,
+        &profess_trace::workloads(),
+    )
+}
+
+/// [`normalized_sweep`] over explicit workloads on an explicit pool.
+///
+/// All solo reference runs are warmed first (deduplicated, in input
+/// order), then the two multiprogram runs per workload are mapped across
+/// the pool; rows are assembled in workload order, so the output does
+/// not depend on the pool's thread count or scheduling.
+pub fn normalized_sweep_on(
+    pool: &Pool,
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    target_misses: u64,
+    workloads: &[Workload],
+) -> Vec<NormalizedRow> {
     let mut cache = SoloCache::new();
+    cache.warm(
+        pool,
+        cfg,
+        &[PolicyKind::Pom, policy],
+        workloads,
+        target_misses,
+    );
+    let jobs: Vec<(usize, PolicyKind)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| [(i, PolicyKind::Pom), (i, policy)])
+        .collect();
+    let reports = pool.map(&jobs, |&(wi, pk)| {
+        run_workload(cfg, pk, &workloads[wi], target_misses)
+    });
     let mut rows = Vec::new();
-    for w in profess_trace::workloads() {
-        let base_solo = cache.solo_ipcs(cfg, PolicyKind::Pom, &w, target_misses);
-        let base = workload_metrics(
-            w.id,
-            &run_workload(cfg, PolicyKind::Pom, &w, target_misses),
-            &base_solo,
-        );
-        let solo = cache.solo_ipcs(cfg, policy, &w, target_misses);
-        let m = workload_metrics(w.id, &run_workload(cfg, policy, &w, target_misses), &solo);
+    for (i, w) in workloads.iter().enumerate() {
+        let base_solo = cache.solo_ipcs(cfg, PolicyKind::Pom, w, target_misses);
+        let base = workload_metrics(w.id, &reports[2 * i], &base_solo);
+        let solo = cache.solo_ipcs(cfg, policy, w, target_misses);
+        let m = workload_metrics(w.id, &reports[2 * i + 1], &solo);
         rows.push(NormalizedRow {
             id: w.id.to_string(),
             unfairness: m.unfairness / base.unfairness,
@@ -214,6 +286,45 @@ pub fn normalized_sweep(
         });
     }
     rows
+}
+
+/// Number of simulations a [`normalized_sweep_on`] call launches for
+/// `policies = [PoM, policy]` over `workloads`: the deduplicated solo
+/// warming runs plus two multiprogram runs per workload. Used by the
+/// figure binaries as the "ops" count of their `BENCH_*.json` artifact.
+pub fn sweep_sim_count(policies: &[PolicyKind], workloads: &[Workload]) -> u64 {
+    let mut solo: Vec<(&'static str, SpecProgram)> = Vec::new();
+    for &pk in policies {
+        for w in workloads {
+            for p in w.programs {
+                if !solo.contains(&(pk.name(), p)) {
+                    solo.push((pk.name(), p));
+                }
+            }
+        }
+    }
+    solo.len() as u64 + 2 * workloads.len() as u64
+}
+
+/// Serializes sweep rows to a canonical JSON string (used to assert that
+/// parallel and serial sweeps are byte-identical).
+pub fn rows_to_json(rows: &[NormalizedRow]) -> String {
+    use profess_metrics::Json;
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("id", Json::Str(r.id.clone())),
+                    ("unfairness", Json::Num(r.unfairness)),
+                    ("weighted_speedup", Json::Num(r.weighted_speedup)),
+                    ("energy_efficiency", Json::Num(r.energy_efficiency)),
+                    ("read_latency", Json::Num(r.read_latency)),
+                    ("swap_fraction", Json::Num(r.swap_fraction)),
+                ])
+            })
+            .collect(),
+    )
+    .to_string()
 }
 
 /// Prints a normalized sweep as the three paper figures' series plus a

@@ -1,0 +1,254 @@
+//! Flat (direct-indexed) replacements for the simulator's hot-path hash
+//! maps.
+//!
+//! The run loop touches two maps on every served request: the per-program
+//! page table (virtual page → frame) and the in-flight token metadata
+//! (token → origin). Both key spaces are dense — virtual pages are
+//! bounded by the synthetic programs' footprints, and tokens are issued
+//! sequentially and live only while a request is in flight — so both
+//! lookups can be plain vector indexing instead of hashing.
+//!
+//! [`TokenRing`] deliberately never reuses a token id: the run loop
+//! breaks completion ties by `(done, id)`, so ids must stay monotonically
+//! increasing for the flattened simulator to replay the hash-map
+//! simulator byte for byte.
+
+use std::collections::VecDeque;
+
+/// Frame value that marks an unmapped page.
+const UNMAPPED: u64 = u64::MAX;
+
+/// A direct-indexed page table: virtual page number → physical frame.
+///
+/// Backed by a vector indexed by the virtual page number, growing on
+/// demand; `u64::MAX` is reserved as the "unmapped" sentinel (physical
+/// frames are far below it — they index real simulated memory).
+#[derive(Debug, Clone, Default)]
+pub struct FlatPageTable {
+    frames: Vec<u64>,
+    mapped: usize,
+}
+
+impl FlatPageTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlatPageTable::default()
+    }
+
+    /// An empty table with room for `pages` mappings before regrowth.
+    pub fn with_capacity(pages: usize) -> Self {
+        FlatPageTable {
+            frames: Vec::with_capacity(pages),
+            mapped: 0,
+        }
+    }
+
+    /// The frame mapped at `vpage`, if any.
+    #[inline]
+    pub fn get(&self, vpage: u64) -> Option<u64> {
+        match self.frames.get(vpage as usize) {
+            Some(&f) if f != UNMAPPED => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Maps `vpage` to `frame`, returning the previous mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is `u64::MAX` (reserved as the unmapped
+    /// sentinel).
+    pub fn insert(&mut self, vpage: u64, frame: u64) -> Option<u64> {
+        assert_ne!(frame, UNMAPPED, "frame value reserved for unmapped pages");
+        let i = vpage as usize;
+        if i >= self.frames.len() {
+            self.frames.resize(i + 1, UNMAPPED);
+        }
+        let old = std::mem::replace(&mut self.frames[i], frame);
+        if old == UNMAPPED {
+            self.mapped += 1;
+            None
+        } else {
+            Some(old)
+        }
+    }
+
+    /// Unmaps `vpage`, returning the frame it was mapped to.
+    pub fn remove(&mut self, vpage: u64) -> Option<u64> {
+        match self.frames.get_mut(vpage as usize) {
+            Some(f) if *f != UNMAPPED => {
+                self.mapped -= 1;
+                Some(std::mem::replace(f, UNMAPPED))
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.mapped
+    }
+
+    /// Whether no page is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.mapped == 0
+    }
+}
+
+/// A map from monotonically issued token ids to values, backed by a ring
+/// over the live id window.
+///
+/// [`TokenRing::insert`] assigns the next id; tokens are removed roughly
+/// in issue order (requests complete within a bounded window), so the
+/// live ids span a narrow window `[base, next)` and the ring stays small.
+/// Ids are never reused (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct TokenRing<T> {
+    /// Value slots for ids `base..base + slots.len()`.
+    slots: VecDeque<Option<T>>,
+    /// Id of `slots[0]`.
+    base: u64,
+    /// Next id to issue.
+    next: u64,
+    live: usize,
+}
+
+impl<T> TokenRing<T> {
+    /// An empty ring; the first token issued is 0.
+    pub fn new() -> Self {
+        TokenRing {
+            slots: VecDeque::new(),
+            base: 0,
+            next: 0,
+            live: 0,
+        }
+    }
+
+    /// Stores `value` under a fresh token id and returns the id.
+    pub fn insert(&mut self, value: T) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        debug_assert_eq!(self.base + self.slots.len() as u64, id);
+        self.slots.push_back(Some(value));
+        self.live += 1;
+        id
+    }
+
+    /// The value stored under `id`, if still present.
+    #[inline]
+    pub fn get(&self, id: u64) -> Option<&T> {
+        let i = id.checked_sub(self.base)?;
+        self.slots.get(i as usize)?.as_ref()
+    }
+
+    /// Removes and returns the value stored under `id`.
+    pub fn remove(&mut self, id: u64) -> Option<T> {
+        let i = id.checked_sub(self.base)? as usize;
+        let v = self.slots.get_mut(i)?.take();
+        if v.is_some() {
+            self.live -= 1;
+            // Trim the dead prefix so the window tracks the oldest live
+            // token instead of growing for the whole run.
+            while let Some(None) = self.slots.front() {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+        }
+        v
+    }
+
+    /// Number of live tokens.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no token is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The id the next [`TokenRing::insert`] will return.
+    pub fn next_id(&self) -> u64 {
+        self.next
+    }
+
+    /// Current ring window width (live span, for tests/diagnostics).
+    pub fn window(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_table_maps_and_unmaps() {
+        let mut t = FlatPageTable::new();
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.insert(3, 77), None);
+        assert_eq!(t.get(3), Some(77));
+        assert_eq!(t.insert(3, 78), Some(77));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(3), Some(78));
+        assert_eq!(t.remove(3), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn page_table_sparse_indices_grow() {
+        let mut t = FlatPageTable::with_capacity(4);
+        t.insert(1000, 1);
+        t.insert(0, 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1000), Some(1));
+        assert_eq!(t.get(500), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn page_table_rejects_sentinel_frame() {
+        FlatPageTable::new().insert(0, u64::MAX);
+    }
+
+    #[test]
+    fn token_ids_are_sequential_and_never_reused() {
+        let mut r = TokenRing::new();
+        let a = r.insert("a");
+        let b = r.insert("b");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(r.remove(a), Some("a"));
+        // Freeing the oldest token must not recycle its id.
+        assert_eq!(r.insert("c"), 2);
+        assert_eq!(r.next_id(), 3);
+    }
+
+    #[test]
+    fn ring_window_trims_after_oldest_completes() {
+        let mut r = TokenRing::new();
+        for i in 0..64u64 {
+            assert_eq!(r.insert(i), i);
+        }
+        // Complete out of order: everything except the oldest...
+        for i in 1..64 {
+            assert_eq!(r.remove(i), Some(i));
+        }
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.window(), 64, "window pinned by the oldest live token");
+        // ...then the oldest: the window collapses.
+        assert_eq!(r.remove(0), Some(0));
+        assert_eq!(r.window(), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn get_and_double_remove() {
+        let mut r = TokenRing::new();
+        let t = r.insert(9u32);
+        assert_eq!(r.get(t), Some(&9));
+        assert_eq!(r.remove(t), Some(9));
+        assert_eq!(r.get(t), None);
+        assert_eq!(r.remove(t), None);
+        assert_eq!(r.remove(1234), None);
+    }
+}

@@ -28,12 +28,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod alloc;
+pub mod flat;
 pub mod org;
 pub mod policies;
 pub mod regions;
 pub mod stc;
 pub mod system;
 
+pub use flat::{FlatPageTable, TokenRing};
 pub use org::{StEntry, SwapTable};
 pub use policies::{Decision, MigrationPolicy};
 pub use regions::{RegionClass, RegionMap};

@@ -8,6 +8,15 @@
 //! STC (misses fetch ST entries from M1, evictions write them back —
 //! modelled as real M1 traffic, as the paper requires).
 //!
+//! The loop caches each channel's and core's next-event time and only
+//! advances components that are due (`next <= clock`) or were mutated
+//! since the cache was filled (pushed to, completed into, swapped,
+//! restarted). This is behavior-preserving because `next_event` is exactly
+//! the earliest cycle a component's state can change absent outside
+//! mutation: advancing it earlier is a no-op (channels apply deferred M1
+//! refreshes on `push`/`begin_swap` and at end of run, so bank state and
+//! refresh accounting match an eagerly advanced run).
+//!
 //! Multiprogram methodology (paper §4.2): each program's statistics are
 //! recorded for its first completion; programs that finish early restart
 //! (fresh instance, new seed) to keep contending until the slowest
@@ -24,6 +33,7 @@ use profess_types::ids::{ProgramId, SlotIdx};
 use profess_types::{Cycle, GroupId};
 
 use crate::alloc::FrameAllocator;
+use crate::flat::{FlatPageTable, TokenRing};
 use crate::org::{qac, SwapTable};
 use crate::policies::cameo::CameoPolicy;
 use crate::policies::mdm::MdmPolicy;
@@ -377,7 +387,7 @@ struct System {
     stcs: Vec<Stc>,
     st: SwapTable,
     alloc: FrameAllocator,
-    page_tables: Vec<HashMap<u64, u64>>,
+    page_tables: Vec<FlatPageTable>,
     cores: Vec<CoreSim>,
     names: Vec<String>,
     factories: Vec<ProgramFactory>,
@@ -385,9 +395,14 @@ struct System {
     first_done: Vec<Option<(u64, u64, f64)>>, // (instructions, core_cycles, ipc)
     policy: Box<dyn MigrationPolicy>,
     region_map: RegionMap,
-    meta: HashMap<u64, Origin>,
-    next_token: u64,
+    meta: TokenRing<Origin>,
     pending_st: HashMap<GroupId, Vec<PendingData>>,
+    // Cached next-event times; `dirty` marks entries whose component was
+    // mutated since the cache was filled and must be recomputed.
+    ch_next: Vec<Cycle>,
+    ch_dirty: Vec<bool>,
+    core_next: Vec<Cycle>,
+    core_dirty: Vec<bool>,
     core_stats: Vec<CoreStats>,
     // Shadow RSM used only for sampling diagnostics (runs under any
     // policy so Table 4 can be produced with the baseline too).
@@ -478,15 +493,19 @@ impl System {
         } else {
             Vec::new()
         };
+        let n_ch = channels.len();
         System {
             policy_kind: b.policy,
             st: SwapTable::new(geom.num_groups()),
-            page_tables: vec![HashMap::new(); n_prog],
+            page_tables: vec![FlatPageTable::with_capacity(geom.total_pages() as usize); n_prog],
             restarts: vec![0; n_prog],
             first_done: vec![None; n_prog],
-            meta: HashMap::new(),
-            next_token: 0,
+            meta: TokenRing::new(),
             pending_st: HashMap::new(),
+            ch_next: vec![Cycle::ZERO; n_ch],
+            ch_dirty: vec![true; n_ch],
+            core_next: vec![Cycle::ZERO; n_prog],
+            core_dirty: vec![true; n_prog],
             core_stats: vec![CoreStats::default(); n_prog],
             sampler_rsm,
             region_samplers,
@@ -507,10 +526,15 @@ impl System {
     }
 
     fn token(&mut self, origin: Origin) -> u64 {
-        let t = self.next_token;
-        self.next_token += 1;
-        self.meta.insert(t, origin);
-        t
+        self.meta.insert(origin)
+    }
+
+    /// Enqueues `req` on channel `ch` at the current clock and marks the
+    /// channel's cached next-event time stale.
+    fn push_channel(&mut self, ch: usize, req: PhysRequest) {
+        let now = self.clock;
+        self.ch_dirty[ch] = true;
+        self.channels[ch].push(req, now);
     }
 
     fn block_index(&self, group: GroupId, slot: SlotIdx) -> u64 {
@@ -544,14 +568,13 @@ impl System {
         } else {
             AccessKind::Read
         };
-        let now = self.clock;
-        self.channels[ch].push(
+        self.push_channel(
+            ch,
             PhysRequest {
                 id: token,
                 kind,
                 loc,
             },
-            now,
         );
     }
 
@@ -559,8 +582,8 @@ impl System {
         let lines_per_page = self.geom.page_bytes / self.geom.line_bytes;
         let vpage = r.line / lines_per_page;
         let program = ProgramId(core as u8);
-        let frame = match self.page_tables[core].get(&vpage) {
-            Some(&f) => f,
+        let frame = match self.page_tables[core].get(vpage) {
+            Some(f) => f,
             None => {
                 let f = self
                     .alloc
@@ -589,14 +612,13 @@ impl System {
             if first_miss {
                 let loc = self.geom.st_entry_loc(group);
                 let token = self.token(Origin::StFetch { channel: ch, group });
-                let now = self.clock;
-                self.channels[ch].push(
+                self.push_channel(
+                    ch,
                     PhysRequest {
                         id: token,
                         kind: AccessKind::Read,
                         loc,
                     },
-                    now,
                 );
             }
         }
@@ -635,14 +657,13 @@ impl System {
             // Read-modify-write of the 8 B entry: the write back to M1.
             let loc = self.geom.st_entry_loc(victim.group);
             let token = self.token(Origin::StWrite);
-            let now = self.clock;
-            self.channels[channel].push(
+            self.push_channel(
+                channel,
                 PhysRequest {
                     id: token,
                     kind: AccessKind::Write,
                     loc,
                 },
-                now,
             );
         }
     }
@@ -658,6 +679,7 @@ impl System {
         let m1_loc = self.geom.slot_loc(group, SlotIdx::M1);
         let m2_loc = self.geom.slot_loc(group, actual);
         let now = self.clock;
+        self.ch_dirty[ch] = true;
         self.channels[ch].begin_swap(now, m1_loc, m2_loc);
         let promoted_owner = self
             .owner(group, orig_slot)
@@ -684,7 +706,7 @@ impl System {
     fn handle_served(&mut self, s: Served) {
         let origin = self
             .meta
-            .remove(&s.id)
+            .remove(s.id)
             .expect("completion for unknown token");
         match origin {
             Origin::StWrite => {}
@@ -719,6 +741,7 @@ impl System {
                         st.read_lat_sum += s.latency();
                     }
                 }
+                self.core_dirty[core] = true;
                 self.cores[core].complete(seq, s.done);
                 let class = self.region_map.classify(&self.geom, program, group);
                 self.policy.on_served(program, class, from_m1);
@@ -795,23 +818,35 @@ impl System {
         let mut served_buf: Vec<Served> = Vec::new();
         let mut out_reqs: Vec<CoreRequest> = Vec::new();
         loop {
-            // 1. Channels catch up; completions collected.
-            for ch in &mut self.channels {
-                ch.advance(self.clock, &mut served_buf);
+            // 1. Due or mutated channels catch up; completions collected.
+            // Skipped channels are exactly those for which advance would
+            // be a no-op (`next_event` contract), so the served stream is
+            // identical to advancing every channel every step.
+            for i in 0..self.channels.len() {
+                if self.ch_dirty[i] || self.ch_next[i] <= self.clock {
+                    self.channels[i].advance(self.clock, &mut served_buf);
+                    self.ch_dirty[i] = true;
+                }
             }
-            served_buf.sort_by_key(|s| (s.done, s.id));
-            for s in std::mem::take(&mut served_buf) {
+            if served_buf.len() > 1 {
+                // (done, id) is unique, so unstable == stable here.
+                served_buf.sort_unstable_by_key(|s| (s.done, s.id));
+            }
+            for s in served_buf.drain(..) {
                 self.handle_served(s);
             }
             // 2. Interval-based policies.
             self.run_poll();
-            // 3. Cores execute; new requests routed.
+            // 3. Due or completed-into cores execute; new requests routed.
             for i in 0..self.cores.len() {
-                debug_assert!(out_reqs.is_empty());
-                let now = self.clock;
-                self.cores[i].advance(now, &mut out_reqs);
-                for r in std::mem::take(&mut out_reqs) {
-                    self.handle_core_request(i, r);
+                if self.core_dirty[i] || self.core_next[i] <= self.clock {
+                    debug_assert!(out_reqs.is_empty());
+                    let now = self.clock;
+                    self.cores[i].advance(now, &mut out_reqs);
+                    self.core_dirty[i] = true;
+                    for r in out_reqs.drain(..) {
+                        self.handle_core_request(i, r);
+                    }
                 }
             }
             // 4. Completions / restarts.
@@ -827,6 +862,7 @@ impl System {
                     if !self.all_first_done() {
                         self.restarts[i] += 1;
                         let source = (self.factories[i])(self.restarts[i]);
+                        self.core_dirty[i] = true;
                         self.cores[i].restart(source);
                     }
                 }
@@ -834,13 +870,21 @@ impl System {
             if self.all_first_done() {
                 break;
             }
-            // 5. Next event.
+            // 5. Next event: refresh stale cache entries, pop the minimum.
             let mut t = Cycle::NEVER;
-            for ch in &self.channels {
-                t = t.min(ch.next_event(self.clock));
+            for i in 0..self.channels.len() {
+                if self.ch_dirty[i] {
+                    self.ch_next[i] = self.channels[i].next_event(self.clock);
+                    self.ch_dirty[i] = false;
+                }
+                t = t.min(self.ch_next[i]);
             }
-            for c in &self.cores {
-                t = t.min(c.next_event(self.clock));
+            for i in 0..self.cores.len() {
+                if self.core_dirty[i] {
+                    self.core_next[i] = self.cores[i].next_event(self.clock);
+                    self.core_dirty[i] = false;
+                }
+                t = t.min(self.core_next[i]);
             }
             if let Some(p) = self.policy.next_poll() {
                 t = t.min(p.max(self.clock + 1));
@@ -878,6 +922,14 @@ impl System {
                     );
                 }
                 break;
+            }
+        }
+        if !self.truncated {
+            // Channels idle near the end were never advanced to the final
+            // clock; apply their deferred refreshes so refresh counts and
+            // energy match an eagerly advanced run exactly.
+            for ch in &mut self.channels {
+                ch.catch_up_refresh(self.clock);
             }
         }
         self.report()

@@ -76,6 +76,10 @@ impl ChannelSim {
 
     /// Enqueues a request at cycle `now`.
     pub fn push(&mut self, req: PhysRequest, now: Cycle) {
+        // The outer loop advances channels lazily, so banks may be
+        // refresh-stale here; any plan over this request must see the
+        // same bank state an eagerly advanced channel would.
+        self.run_refresh(now);
         let q = Queued { req, enq: now };
         match req.kind {
             AccessKind::Read => self.read_q.push(q),
@@ -150,6 +154,15 @@ impl ChannelSim {
             self.stats.refreshes += 1;
             self.next_refresh = at + refi;
         }
+    }
+
+    /// Applies pending M1 refreshes up to `now` without issuing anything.
+    ///
+    /// An event-driven caller that skips idle channels uses this at end
+    /// of run so refresh (and its energy) is accounted to the same final
+    /// cycle as a channel that was advanced every step.
+    pub fn catch_up_refresh(&mut self, now: Cycle) {
+        self.run_refresh(now);
     }
 
     /// Plans a queued request: returns (first command cycle, data start,
@@ -342,7 +355,12 @@ impl ChannelSim {
                 i += 1;
             }
         }
-        served[before..].sort_by_key(|s| (s.done, s.id));
+        // (done, id) is unique per request, so an unstable sort is
+        // order-equivalent; most advances complete at most one request
+        // and skip the sort entirely.
+        if served.len() - before > 1 {
+            served[before..].sort_unstable_by_key(|s| (s.done, s.id));
+        }
     }
 
     /// The next cycle (strictly after `now`) at which channel state can
@@ -421,6 +439,9 @@ impl ChannelSim {
     pub fn begin_swap(&mut self, now: Cycle, m1_loc: MemLoc, m2_loc: MemLoc) -> Cycle {
         assert_eq!(m1_loc.module, Module::M1, "first swap location must be M1");
         assert_eq!(m2_loc.module, Module::M2, "second swap location must be M2");
+        // As in `push`: apply pending refreshes before reading bank state,
+        // so a lazily advanced channel plans the swap like an eager one.
+        self.run_refresh(now);
         let start = now
             .max(self.bus_free)
             .max(self.blocked_until)

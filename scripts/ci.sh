@@ -18,4 +18,14 @@ cargo build --release --workspace --offline
 echo "==> cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
+# Bench smoke: run one figure binary end to end with a tiny op budget so
+# the parallel sweep engine and the BENCH_<name>.json perf artifact path
+# stay exercised. The artifact lands in a scratch dir, not results/.
+echo "==> bench smoke (fig05, tiny budget)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+PROFESS_RESULTS_DIR="$smoke_dir" \
+    cargo run --release --offline -q -p profess-bench --bin fig05 -- 200 > /dev/null
+test -s "$smoke_dir/BENCH_fig05.json"
+
 echo "ci: all tier-1 checks passed"

@@ -20,7 +20,9 @@
 //! * [`core`] — the organization (swap groups, ST/STC, regions, OS frame
 //!   allocation), all migration policies, and the full-system simulator;
 //! * [`metrics`] — slowdown, weighted speedup, unfairness, energy
-//!   efficiency, box-plot statistics.
+//!   efficiency, box-plot statistics;
+//! * [`par`] — a scoped thread pool with deterministic, input-order
+//!   result collection, used by the sweep drivers (`PROFESS_THREADS`).
 //!
 //! # Quick start
 //!
@@ -47,6 +49,7 @@ pub use profess_core as core;
 pub use profess_cpu as cpu;
 pub use profess_mem as mem;
 pub use profess_metrics as metrics;
+pub use profess_par as par;
 pub use profess_rng as rng;
 pub use profess_trace as trace;
 pub use profess_types as types;

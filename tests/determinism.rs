@@ -142,6 +142,40 @@ fn golden_multiprogram_report_identical_for_every_policy() {
     }
 }
 
+/// A sweep driven through the thread pool must emit byte-identical rows
+/// no matter how many workers run it: `Pool::new(1)` is the fully serial
+/// path (no worker threads at all; the semantics `PROFESS_THREADS=1`
+/// selects), `Pool::new(4)` oversubscribes the jobs across four workers
+/// (`PROFESS_THREADS=4`). The pools are constructed explicitly so the
+/// test does not mutate process-global environment state.
+#[test]
+fn parallel_sweep_matches_serial_byte_for_byte() {
+    let run = |threads: usize| {
+        let mut cfg = SystemConfig::scaled_quad();
+        cfg.seed = 11;
+        cfg.rsm.m_samp = 512;
+        let ws = workloads();
+        let subset = [ws[0], ws[7]];
+        profess_bench::rows_to_json(&profess_bench::normalized_sweep_on(
+            &profess_bench::Pool::new(threads),
+            &cfg,
+            PolicyKind::Profess,
+            2_000,
+            &subset,
+        ))
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert!(
+        serial.contains("\"id\""),
+        "sweep produced no rows: {serial}"
+    );
+    assert_eq!(
+        serial, parallel,
+        "4-thread sweep diverged from the serial sweep"
+    );
+}
+
 /// Two *distinct* multiprogram workloads must not serialize identically
 /// (guards against the report accidentally ignoring the programs).
 #[test]

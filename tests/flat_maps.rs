@@ -1,0 +1,106 @@
+//! Property-based tests (profess-check) for the flat direct-indexed
+//! containers that replaced `HashMap` on the simulator hot path
+//! (`profess::core::flat`): under arbitrary operation sequences they must
+//! agree, call for call, with a `HashMap` reference model.
+
+use std::collections::HashMap;
+
+use profess::core::flat::{FlatPageTable, TokenRing};
+use profess_check::strategy::{tuple3, u64_range, vec_of};
+use profess_check::{check, prop_assert, prop_assert_eq};
+
+/// `FlatPageTable` must behave exactly like `HashMap<u64, u64>` for any
+/// interleaving of insert / remove / get, including re-inserts (which
+/// return the displaced frame) and lookups of never-mapped pages.
+#[test]
+fn flat_page_table_agrees_with_hashmap_model() {
+    check(
+        "flat_page_table_agrees_with_hashmap_model",
+        // (op selector, virtual page, frame) triples. The page range is
+        // deliberately small relative to the op count so sequences hit
+        // re-insert and remove-then-get interleavings often.
+        vec_of(
+            tuple3(u64_range(0..3), u64_range(0..96), u64_range(0..1 << 20)),
+            0..200,
+        ),
+        |ops| {
+            let mut flat = FlatPageTable::with_capacity(32);
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            for &(op, vpage, frame) in ops {
+                match op {
+                    0 => prop_assert_eq!(flat.insert(vpage, frame), model.insert(vpage, frame)),
+                    1 => prop_assert_eq!(flat.remove(vpage), model.remove(&vpage)),
+                    _ => prop_assert_eq!(flat.get(vpage), model.get(&vpage).copied()),
+                }
+                prop_assert_eq!(flat.len(), model.len());
+                prop_assert_eq!(flat.is_empty(), model.is_empty());
+            }
+            // Final sweep: every page the model knows (and a margin of
+            // pages it does not) must agree.
+            for vpage in 0..128 {
+                prop_assert_eq!(flat.get(vpage), model.get(&vpage).copied());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `TokenRing` must hand out strictly sequential ids (never reusing one,
+/// even after removal — the (done, id) sort in the simulator relies on
+/// this for deterministic tie-breaks) and must agree with a
+/// `HashMap<u64, V>` model on get / remove.
+#[test]
+fn token_ring_agrees_with_hashmap_model() {
+    check(
+        "token_ring_agrees_with_hashmap_model",
+        // (op selector, payload, id selector) triples; the id selector is
+        // reduced modulo the ids issued so far so removes and gets land on
+        // a mix of live, already-removed, and trimmed ids.
+        vec_of(
+            tuple3(u64_range(0..3), u64_range(0..1 << 16), u64_range(0..64)),
+            0..200,
+        ),
+        |ops| {
+            let mut ring: TokenRing<u64> = TokenRing::new();
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            let mut issued = 0u64;
+            for &(op, payload, id_sel) in ops {
+                match op {
+                    0 => {
+                        let id = ring.insert(payload);
+                        prop_assert!(id == issued, "ids must be sequential from zero");
+                        model.insert(id, payload);
+                        issued += 1;
+                    }
+                    op => {
+                        // Probe an id in [0, issued] — one past the end is
+                        // a deliberate never-issued probe.
+                        let id = if issued == 0 {
+                            0
+                        } else {
+                            id_sel % (issued + 1)
+                        };
+                        if op == 1 {
+                            prop_assert_eq!(ring.remove(id), model.remove(&id));
+                        } else {
+                            prop_assert_eq!(ring.get(id).copied(), model.get(&id).copied());
+                        }
+                    }
+                }
+                prop_assert_eq!(ring.len(), model.len());
+                prop_assert_eq!(ring.is_empty(), model.is_empty());
+                prop_assert_eq!(ring.next_id(), issued);
+                // The ring stores a dense window over live ids: it can
+                // never hold more slots than ids issued and never fewer
+                // than live entries.
+                prop_assert!(ring.window() <= issued as usize);
+                prop_assert!(ring.window() >= ring.len());
+            }
+            // Every id ever issued must agree with the model.
+            for id in 0..issued {
+                prop_assert_eq!(ring.get(id).copied(), model.get(&id).copied());
+            }
+            Ok(())
+        },
+    );
+}
