@@ -9,9 +9,10 @@
 //!    K = 8 derives from the swap/latency arithmetic (§4.1); far smaller
 //!    values over-swap, far larger values under-swap.
 
+use profess_bench::harness::TraceCollector;
 use profess_bench::{
-    run_solo, run_workload, summarize, target_from_args, workload_metrics, SoloCache,
-    MULTI_TARGET_MISSES,
+    init_trace_flag, run_solo, run_workload, summarize, target_from_args, workload_metrics,
+    SoloCache, MULTI_TARGET_MISSES,
 };
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
@@ -19,7 +20,9 @@ use profess_trace::{workload::workload_by_id, SpecProgram};
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(MULTI_TARGET_MISSES);
+    let mut traces = TraceCollector::from_env("ablation");
     let cfg = SystemConfig::scaled_quad();
     println!("Ablation 1: ProFess Case 3 product rule\n");
     let mut cache = SoloCache::new();
@@ -36,6 +39,7 @@ fn main() {
         for pk in [PolicyKind::Profess, PolicyKind::ProfessNoCase3] {
             let solo = cache.solo_ipcs(&cfg, pk, &w, target);
             let multi = run_workload(&cfg, pk, &w, target);
+            traces.record(&format!("{id}:{}", pk.name()), &multi);
             vals.push(workload_metrics(id, &multi, &solo));
         }
         t.row(vec![
@@ -83,4 +87,5 @@ fn main() {
     println!("{t}");
     println!("Expected: K = 2 swaps much more for little gain; K = 32");
     println!("forgoes profitable promotions.");
+    traces.finish();
 }

@@ -10,22 +10,26 @@
 //! per workload, with the irregular / hot-set-heavy programs suffering
 //! the most from the competition for M1.
 
-use profess_bench::{run_workload, target_from_args, workload_metrics, SoloCache};
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, run_workload, target_from_args, workload_metrics, SoloCache};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::workload::workload_by_id;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(profess_bench::MULTI_TARGET_MISSES);
     let cfg = SystemConfig::scaled_quad();
     let mut cache = SoloCache::new();
+    let mut traces = TraceCollector::from_env("fig02");
     println!("Figure 2: slowdowns under PoM management\n");
     let mut t = TextTable::new(vec!["workload", "program", "slowdown"]);
     for id in ["w09", "w16", "w19"] {
         let w = workload_by_id(id).expect("known workload");
         let solo = cache.solo_ipcs(&cfg, PolicyKind::Pom, &w, target);
         let multi = run_workload(&cfg, PolicyKind::Pom, &w, target);
+        traces.record(&format!("{id}:PoM"), &multi);
         let m = workload_metrics(id, &multi, &solo);
         for (prog, sdn) in w.programs.iter().zip(&m.slowdowns) {
             t.row(vec![
@@ -44,4 +48,5 @@ fn main() {
     println!("{t}");
     println!("Paper: w09 soplex 3.7 vs lbm/GemsFDTD ~2.2 (spread ~1.7x);");
     println!("uneven slowdowns in every workload motivate RSM.");
+    traces.finish();
 }

@@ -12,8 +12,10 @@
 //! reduced-M1 system MDM wins (+30% in the paper) — both checks appear at
 //! the end of the output.
 
-use profess_bench::harness::BenchJson;
-use profess_bench::{run_solo, summarize, target_from_args, Pool, SOLO_TARGET_MISSES};
+use profess_bench::harness::{BenchJson, TraceCollector};
+use profess_bench::{
+    init_trace_flag, run_solo, summarize, target_from_args, Pool, SOLO_TARGET_MISSES,
+};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_metrics::BoxPlot;
@@ -21,10 +23,12 @@ use profess_trace::SpecProgram;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(SOLO_TARGET_MISSES);
     let cfg = SystemConfig::scaled_single();
     let pool = Pool::from_env();
     let mut bench = BenchJson::start("fig05");
+    let mut traces = TraceCollector::from_env("fig05");
     println!("Figure 5: single-program IPC of MDM normalized to PoM\n");
     let progs: Vec<SpecProgram> = SpecProgram::ALL
         .into_iter()
@@ -37,6 +41,10 @@ fn main() {
         )
     });
     bench.add_ops(2 * reports.len() as u64);
+    for (prog, (pom, mdm)) in progs.iter().zip(&reports) {
+        traces.record(&format!("{}:PoM", prog.name()), pom);
+        traces.record(&format!("{}:MDM", prog.name()), mdm);
+    }
     let mut t = TextTable::new(vec!["program", "PoM IPC", "MDM IPC", "MDM/PoM"]);
     let mut ratios = Vec::new();
     for (prog, (pom, mdm)) in progs.iter().zip(&reports) {
@@ -78,6 +86,9 @@ fn main() {
     ];
     let lq_reports = pool.map(&lq_jobs, |&(c, pk)| run_solo(c, pk, lq, target));
     bench.add_ops(lq_reports.len() as u64);
+    for ((_, pk), r) in lq_jobs.iter().zip(&lq_reports) {
+        traces.record(&format!("libquantum:{}", pk.name()), r);
+    }
     println!(
         "libquantum, default scale (footprint fits M1): MDM/PoM = {:.3} (paper: ~1.00)",
         lq_reports[1].programs[0].ipc / lq_reports[0].programs[0].ipc
@@ -86,5 +97,6 @@ fn main() {
         "libquantum, reduced M1 (512 KB < footprint): MDM/PoM = {:.3} (paper: +30% in its reduced system)",
         lq_reports[3].programs[0].ipc / lq_reports[2].programs[0].ipc
     );
+    traces.finish();
     bench.finish();
 }

@@ -8,14 +8,17 @@
 //! slightly more (~+2.5%) while performing marginally worse (noisy MDM
 //! statistics at its low STC hit rate).
 
-use profess_bench::{run_solo, target_from_args, SOLO_TARGET_MISSES};
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, run_solo, target_from_args, SOLO_TARGET_MISSES};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::SpecProgram;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(SOLO_TARGET_MISSES);
+    let mut traces = TraceCollector::from_env("fig06");
     let cfg = SystemConfig::scaled_single();
     println!("Figure 6: M1 access fraction of MDM normalized to PoM\n");
     let mut t = TextTable::new(vec![
@@ -32,6 +35,8 @@ fn main() {
         }
         let pom = run_solo(&cfg, PolicyKind::Pom, prog, target);
         let mdm = run_solo(&cfg, PolicyKind::Mdm, prog, target);
+        traces.record(&format!("{}:PoM", prog.name()), &pom);
+        traces.record(&format!("{}:MDM", prog.name()), &mdm);
         let (fp, fm) = (pom.programs[0].m1_fraction(), mdm.programs[0].m1_fraction());
         t.row(vec![
             prog.name().to_string(),
@@ -45,4 +50,5 @@ fn main() {
     println!("{t}");
     println!("Paper: M1 fraction tracks performance except mcf (MDM serves");
     println!("fewer accesses from M1 but swaps less and wins) and omnetpp.");
+    traces.finish();
 }

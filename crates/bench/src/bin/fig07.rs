@@ -6,20 +6,24 @@
 //! programs well above the irregular pointer-chasers, with omnetpp and
 //! mcf lowest.
 
-use profess_bench::{run_solo, target_from_args, SOLO_TARGET_MISSES};
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, run_solo, target_from_args, SOLO_TARGET_MISSES};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::SpecProgram;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(SOLO_TARGET_MISSES);
+    let mut traces = TraceCollector::from_env("fig07");
     let cfg = SystemConfig::scaled_single();
     println!("Figure 7: single-program STC hit rates under MDM\n");
     let mut t = TextTable::new(vec!["program", "STC hit rate (%)"]);
     let mut rows: Vec<(String, f64)> = Vec::new();
     for prog in SpecProgram::ALL {
         let mdm = run_solo(&cfg, PolicyKind::Mdm, prog, target);
+        traces.record(&format!("{}:MDM", prog.name()), &mdm);
         rows.push((prog.name().to_string(), mdm.stc_hit_rate));
     }
     for (name, hr) in &rows {
@@ -47,4 +51,5 @@ fn main() {
         }
     );
     println!("Paper: ~94% typical; mcf ~85%; omnetpp ~70%.");
+    traces.finish();
 }

@@ -10,14 +10,17 @@
 //! and soplex lose ~2% with the double-size STC because fewer evictions
 //! mean fewer MDM counter updates).
 
-use profess_bench::{run_solo, target_from_args, SOLO_TARGET_MISSES};
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, run_solo, target_from_args, SOLO_TARGET_MISSES};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::SpecProgram;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(SOLO_TARGET_MISSES);
+    let mut traces = TraceCollector::from_env("fig08_09");
     println!("Figures 8-9: sensitivity to STC size (MDM, solo)\n");
     let mut t = TextTable::new(vec![
         "program",
@@ -38,6 +41,7 @@ fn main() {
             let mut cfg = SystemConfig::scaled_single();
             cfg.stc.entries = ((base_entries as f64) * mult) as usize;
             let r = run_solo(&cfg, PolicyKind::Mdm, prog, target);
+            traces.record(&format!("{}:MDM:stc{mult}", prog.name()), &r);
             ipcs.push(r.programs[0].ipc);
             hits.push(r.stc_hit_rate);
         }
@@ -57,4 +61,5 @@ fn main() {
     println!("Paper (Fig 8): mostly insensitive; mcf/omnetpp lose ~8% at");
     println!("half size; omnetpp/soplex lose ~2% at double size.");
     println!("Paper (Fig 9): hit rates rise with STC size; mcf 75%->85%.");
+    traces.finish();
 }

@@ -9,18 +9,28 @@
 //! w18); w04/w05/w10/w15/w18 can be *less* fair than PoM since MDM
 //! ignores slowdowns, just like PoM.
 
-use profess_bench::harness::BenchJson;
+use profess_bench::harness::{BenchJson, TraceCollector};
 use profess_bench::{
-    normalized_sweep, print_sweep, sweep_sim_count, target_from_args, MULTI_TARGET_MISSES,
+    init_trace_flag, normalized_sweep_traced, print_sweep, sweep_sim_count, target_from_args, Pool,
+    MULTI_TARGET_MISSES,
 };
 use profess_core::system::PolicyKind;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(MULTI_TARGET_MISSES);
     let cfg = SystemConfig::scaled_quad();
     let mut bench = BenchJson::start("fig10_12");
-    let rows = normalized_sweep(&cfg, PolicyKind::Mdm, target);
+    let mut traces = TraceCollector::from_env("fig10_12");
+    let rows = normalized_sweep_traced(
+        &Pool::from_env(),
+        &cfg,
+        PolicyKind::Mdm,
+        target,
+        &profess_trace::workloads(),
+        &mut traces,
+    );
     bench.add_ops(sweep_sim_count(
         &[PolicyKind::Pom, PolicyKind::Mdm],
         &profess_trace::workloads(),
@@ -45,5 +55,6 @@ fn main() {
             "no"
         }
     );
+    traces.finish();
     bench.finish();
 }

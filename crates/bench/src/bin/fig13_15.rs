@@ -13,19 +13,29 @@
 //! against plain MDM: RSM guidance should improve fairness, weighted
 //! speedup and swap fraction relative to MDM on most workloads.
 
-use profess_bench::harness::BenchJson;
+use profess_bench::harness::{BenchJson, TraceCollector};
 use profess_bench::{
-    normalized_sweep, print_sweep, sweep_sim_count, target_from_args, MULTI_TARGET_MISSES,
+    init_trace_flag, normalized_sweep, normalized_sweep_traced, print_sweep, sweep_sim_count,
+    target_from_args, Pool, MULTI_TARGET_MISSES,
 };
 use profess_core::system::PolicyKind;
 use profess_metrics::geomean;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(MULTI_TARGET_MISSES);
     let cfg = SystemConfig::scaled_quad();
     let mut bench = BenchJson::start("fig13_15");
-    let profess = normalized_sweep(&cfg, PolicyKind::Profess, target);
+    let mut traces = TraceCollector::from_env("fig13_15");
+    let profess = normalized_sweep_traced(
+        &Pool::from_env(),
+        &cfg,
+        PolicyKind::Profess,
+        target,
+        &profess_trace::workloads(),
+        &mut traces,
+    );
     bench.add_ops(sweep_sim_count(
         &[PolicyKind::Pom, PolicyKind::Profess],
         &profess_trace::workloads(),
@@ -79,5 +89,6 @@ fn main() {
             "shape PARTIALLY holds (see EXPERIMENTS.md)"
         }
     );
+    traces.finish();
     bench.finish();
 }

@@ -7,16 +7,19 @@
 //! (in w09 it slows lbm and GemsFDTD to speed mcf and soplex). w16 is
 //! special: ProFess finds no fairness opportunity beyond MDM's.
 
-use profess_bench::{run_workload, target_from_args, workload_metrics, SoloCache};
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, run_workload, target_from_args, workload_metrics, SoloCache};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::workload::workload_by_id;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(profess_bench::MULTI_TARGET_MISSES);
     let cfg = SystemConfig::scaled_quad();
     let mut cache = SoloCache::new();
+    let mut traces = TraceCollector::from_env("fig16");
     println!("Figure 16: per-program slowdowns under the evaluated schemes\n");
     for id in ["w09", "w16", "w19"] {
         let w = workload_by_id(id).expect("known workload");
@@ -25,6 +28,7 @@ fn main() {
         for pk in [PolicyKind::Pom, PolicyKind::Mdm, PolicyKind::Profess] {
             let solo = cache.solo_ipcs(&cfg, pk, &w, target);
             let multi = run_workload(&cfg, pk, &w, target);
+            traces.record(&format!("{id}:{}", pk.name()), &multi);
             per_policy.push(workload_metrics(id, &multi, &solo));
         }
         for (i, prog) in w.programs.iter().enumerate() {
@@ -45,4 +49,5 @@ fn main() {
     }
     println!("Paper: ProFess helps the most-suffering programs at the cost");
     println!("of lightly loaded ones (w09); w16 offers no opportunity.");
+    traces.finish();
 }

@@ -7,9 +7,9 @@
 //! because it lacks cost-benefit analysis; this motivates PoM as the
 //! paper's baseline.
 
-use profess_bench::harness::BenchJson;
+use profess_bench::harness::{BenchJson, TraceCollector};
 use profess_bench::{
-    run_solo, run_workload, summarize, target_from_args, Pool, MULTI_TARGET_MISSES,
+    init_trace_flag, run_solo, run_workload, summarize, target_from_args, Pool, MULTI_TARGET_MISSES,
 };
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
@@ -17,9 +17,11 @@ use profess_trace::{workloads, SpecProgram, Workload};
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(MULTI_TARGET_MISSES);
     let pool = Pool::from_env();
     let mut bench = BenchJson::start("mempod_vs_pom");
+    let mut traces = TraceCollector::from_env("mempod_vs_pom");
     println!("MemPod vs PoM: average read latency (AMMAT proxy)\n");
     // Single-program.
     let cfg1 = SystemConfig::scaled_single();
@@ -31,6 +33,10 @@ fn main() {
         )
     });
     bench.add_ops(2 * solo_reports.len() as u64);
+    for (prog, (pom, pod)) in progs.iter().zip(&solo_reports) {
+        traces.record(&format!("{}:PoM", prog.name()), pom);
+        traces.record(&format!("{}:MemPod", prog.name()), pod);
+    }
     let mut t = TextTable::new(vec!["program", "PoM lat", "MemPod lat", "ratio"]);
     let mut solo_ratios = Vec::new();
     for (prog, (pom, pod)) in progs.iter().zip(&solo_reports) {
@@ -59,6 +65,10 @@ fn main() {
         )
     });
     bench.add_ops(2 * multi_reports.len() as u64);
+    for (w, (pom, pod)) in subset.iter().zip(&multi_reports) {
+        traces.record(&format!("{}:PoM", w.id), pom);
+        traces.record(&format!("{}:MemPod", w.id), pod);
+    }
     let multi_ratios: Vec<f64> = multi_reports
         .iter()
         .map(|(pom, pod)| pod.avg_read_latency_cycles / pom.avg_read_latency_cycles)
@@ -77,5 +87,6 @@ fn main() {
             "DEVIATES: MemPod did not lose to PoM here"
         }
     );
+    traces.finish();
     bench.finish();
 }

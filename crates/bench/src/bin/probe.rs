@@ -3,7 +3,8 @@
 //! that the reproduction's result *shapes* match the paper before running
 //! the figure benches.
 
-use profess_bench::run_solo;
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, run_solo};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::SpecProgram;
@@ -11,10 +12,13 @@ use profess_types::SystemConfig;
 use std::time::Instant;
 
 fn main() {
+    init_trace_flag();
     let target: u64 = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
         .and_then(|s| s.parse().ok())
         .unwrap_or(40_000);
+    let mut traces = TraceCollector::from_env("probe");
     let cfg = SystemConfig::scaled_single();
     let mut t = TextTable::new(vec![
         "program", "policy", "ipc", "m1frac", "swaps", "rdlat", "stc", "secs",
@@ -28,6 +32,7 @@ fn main() {
         ] {
             let t0 = Instant::now();
             let r = run_solo(&cfg, pk, prog, target);
+            traces.record(&format!("{}:{}", prog.name(), pk.name()), &r);
             let p = &r.programs[0];
             t.row(vec![
                 prog.name().to_string(),
@@ -42,4 +47,5 @@ fn main() {
         }
     }
     println!("{t}");
+    traces.finish();
 }

@@ -2,7 +2,8 @@
 //! runs selected Table 10 workloads under PoM / MDM / ProFess and prints
 //! per-program slowdowns, weighted speedup, unfairness and swap fraction.
 
-use profess_bench::{run_workload, workload_metrics, SoloCache};
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, run_workload, workload_metrics, SoloCache};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::workload::workload_by_id;
@@ -10,11 +11,13 @@ use profess_types::SystemConfig;
 use std::time::Instant;
 
 fn main() {
-    let target: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60_000);
-    let ids: Vec<String> = std::env::args().skip(2).collect();
+    init_trace_flag();
+    let pos: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let target: u64 = pos.first().and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let ids: Vec<String> = pos.iter().skip(1).cloned().collect();
     let ids = if ids.is_empty() {
         vec!["w09".to_string(), "w16".to_string(), "w19".to_string()]
     } else {
@@ -22,6 +25,7 @@ fn main() {
     };
     let cfg = SystemConfig::scaled_quad();
     let mut cache = SoloCache::new();
+    let mut traces = TraceCollector::from_env("probe_multi");
     let mut t = TextTable::new(vec![
         "wl", "policy", "sdn0", "sdn1", "sdn2", "sdn3", "wspeed", "unfair", "swap%", "eff", "secs",
     ]);
@@ -31,6 +35,7 @@ fn main() {
             let t0 = Instant::now();
             let solo = cache.solo_ipcs(&cfg, pk, &w, target);
             let multi = run_workload(&cfg, pk, &w, target);
+            traces.record(&format!("{id}:{}", pk.name()), &multi);
             let m = workload_metrics(id, &multi, &solo);
             if std::env::var_os("PROFESS_VERBOSE").is_some() {
                 for pr in &multi.programs {
@@ -80,4 +85,5 @@ fn main() {
         }
     }
     println!("{t}");
+    traces.finish();
 }

@@ -6,14 +6,17 @@
 //! in the doubled relative M1); moving to 1:16 leaves it at ~14%. Expected
 //! shape: the improvement at 1:4 is no larger than at 1:8/1:16.
 
-use profess_bench::{run_solo, summarize, target_from_args, SOLO_TARGET_MISSES};
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, run_solo, summarize, target_from_args, SOLO_TARGET_MISSES};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::SpecProgram;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(SOLO_TARGET_MISSES);
+    let mut traces = TraceCollector::from_env("sens_ratio");
     println!("Sensitivity to the M1:M2 capacity ratio (MDM/PoM solo IPC)\n");
     let mut t = TextTable::new(vec!["M1:M2", "geomean MDM/PoM", "best", "worst"]);
     for ratio in [4u32, 8, 16] {
@@ -29,6 +32,8 @@ fn main() {
             }
             let pom = run_solo(&cfg, PolicyKind::Pom, prog, target);
             let mdm = run_solo(&cfg, PolicyKind::Mdm, prog, target);
+            traces.record(&format!("{}:PoM:1to{ratio}", prog.name()), &pom);
+            traces.record(&format!("{}:MDM:1to{ratio}", prog.name()), &mdm);
             ratios.push(mdm.programs[0].ipc / pom.programs[0].ipc);
         }
         let s = summarize(&ratios);
@@ -42,4 +47,5 @@ fn main() {
     println!("{t}");
     println!("Paper: 1:4 +12%, 1:8 +14%, 1:16 +14% (footprint-fitting");
     println!("programs excluded at 1:4).");
+    traces.finish();
 }

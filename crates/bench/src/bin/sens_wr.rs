@@ -6,14 +6,17 @@
 //! improvement to +12% (up to +27% for lbm). Expected shape: the MDM/PoM
 //! geomean rises monotonically with t_WR_M2.
 
-use profess_bench::{run_solo, summarize, target_from_args, SOLO_TARGET_MISSES};
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, run_solo, summarize, target_from_args, SOLO_TARGET_MISSES};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::SpecProgram;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(SOLO_TARGET_MISSES);
+    let mut traces = TraceCollector::from_env("sens_wr");
     println!("Sensitivity to M2 write latency (MDM/PoM solo IPC)\n");
     let base_twr = SystemConfig::scaled_single().mem.m2.t_wr;
     let mut t = TextTable::new(vec!["t_WR_M2", "geomean MDM/PoM", "best", "worst"]);
@@ -28,6 +31,8 @@ fn main() {
             }
             let pom = run_solo(&cfg, PolicyKind::Pom, prog, target);
             let mdm = run_solo(&cfg, PolicyKind::Mdm, prog, target);
+            traces.record(&format!("{}:PoM:twr{mult}", prog.name()), &pom);
+            traces.record(&format!("{}:MDM:twr{mult}", prog.name()), &mdm);
             ratios.push(mdm.programs[0].ipc / pom.programs[0].ipc);
         }
         let s = summarize(&ratios);
@@ -49,4 +54,5 @@ fn main() {
             "not monotone: shape DEVIATES from the paper (12% -> 14% -> 18%)"
         }
     );
+    traces.finish();
 }

@@ -12,7 +12,8 @@
 //! at 128 K: raw 13% → smoothed 3.3%), and doubling M_samp shrinks σ̂_req.
 //! The eq. 4 analytic lower bound is printed for context.
 
-use profess_bench::target_from_args;
+use profess_bench::harness::TraceCollector;
+use profess_bench::{init_trace_flag, target_from_args};
 use profess_core::policies::rsm::analytic_sigma_fraction;
 use profess_core::system::{PolicyKind, SystemBuilder};
 use profess_metrics::table::TextTable;
@@ -20,7 +21,9 @@ use profess_trace::SpecProgram;
 use profess_types::SystemConfig;
 
 fn main() {
+    init_trace_flag();
     let target = target_from_args(300_000);
+    let mut traces = TraceCollector::from_env("table4");
     println!("Table 4: RSM sampling accuracy (scaled M_samp sweep)\n");
     println!(
         "eq. 4 analytic sigma (uniform model), N = 128 regions, M = 2^17: {:.1}%\n",
@@ -46,6 +49,7 @@ fn main() {
                 .sample_regions(true)
                 .spec_program(prog, prog.budget_for_misses(target))
                 .run();
+            traces.record(&format!("{}:ProFess:msamp{m_samp}", prog.name()), &report);
             let s = report.sampling[0]
                 .as_ref()
                 .expect("sampling enabled for this run");
@@ -69,4 +73,5 @@ fn main() {
     println!("  omnetpp sigma_req 15/12/10%  raw_SFA 6/5/4%    avg_SFA 2.1/1.6/1.4%");
     println!("Expected shape: sigma_req falls as M_samp doubles; smoothing");
     println!("cuts the SF_A sigma several-fold; mean raw SF_A ~= 1.");
+    traces.finish();
 }

@@ -1,0 +1,67 @@
+//! Validates a `TRACE_*.jsonl` artifact: every line must parse as JSON
+//! with a string `type` field, and every event kind named on the command
+//! line must occur at least once. Exits non-zero (with a diagnostic) on
+//! any violation — CI uses this to assert that a traced smoke run
+//! produced a well-formed, non-trivial trace.
+//!
+//! ```text
+//! tracecheck results/TRACE_fig05.jsonl swap_begin mdm_decision rsm_epoch
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use profess_metrics::Json;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: tracecheck <trace.jsonl> [required_kind...]");
+        return ExitCode::FAILURE;
+    };
+    let required: Vec<String> = args.collect();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracecheck: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut kinds: BTreeMap<String, u64> = BTreeMap::new();
+    let mut lines = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        lines += 1;
+        let json = match Json::parse(line) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("tracecheck: {path}:{}: invalid JSON ({e:?})", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(Json::Str(kind)) = json.get("type") else {
+            eprintln!("tracecheck: {path}:{}: missing string `type` field", i + 1);
+            return ExitCode::FAILURE;
+        };
+        *kinds.entry(kind.clone()).or_insert(0) += 1;
+    }
+    if lines == 0 {
+        eprintln!("tracecheck: {path} is empty");
+        return ExitCode::FAILURE;
+    }
+    println!("tracecheck: {path}: {lines} lines");
+    for (kind, n) in &kinds {
+        println!("  {kind}: {n}");
+    }
+    let mut ok = true;
+    for kind in &required {
+        if !kinds.contains_key(kind) {
+            eprintln!("tracecheck: required event kind `{kind}` not found");
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -279,6 +279,106 @@ impl BenchJson {
     }
 }
 
+/// Collects per-run trace logs and writes the `TRACE_<name>.jsonl`
+/// artifact next to the `BENCH_*.json` files.
+///
+/// Each recorded run contributes a `{"type":"run",...}` header line
+/// followed by the run's [`profess_obs::TraceLog`] JSONL (events, then
+/// histogram summaries, then the counters line). Callers must record
+/// runs in a deterministic order (e.g. pool-map *result* order, never
+/// completion order) so the artifact is byte-identical across
+/// `PROFESS_THREADS` settings.
+#[derive(Debug)]
+pub struct TraceCollector {
+    name: String,
+    enabled: bool,
+    out: String,
+    runs: u64,
+}
+
+impl TraceCollector {
+    /// A collector for artifact `name`, active only when tracing is
+    /// enabled in the environment (`PROFESS_TRACE` / `--trace` via
+    /// [`crate::init_trace_flag`]).
+    pub fn from_env(name: &str) -> Self {
+        Self::with_enabled(name, profess_obs::TraceConfig::from_env().enabled)
+    }
+
+    /// A collector that records unconditionally (tests).
+    pub fn forced(name: &str) -> Self {
+        Self::with_enabled(name, true)
+    }
+
+    /// An inert collector: records nothing, writes nothing.
+    pub fn disabled() -> Self {
+        Self::with_enabled("", false)
+    }
+
+    fn with_enabled(name: &str, enabled: bool) -> Self {
+        TraceCollector {
+            name: name.to_string(),
+            enabled,
+            out: String::new(),
+            runs: 0,
+        }
+    }
+
+    /// True when records are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends one run's trace (no-op when the collector is off or the
+    /// report carries no trace).
+    pub fn record(&mut self, label: &str, report: &profess_core::system::SystemReport) {
+        if !self.enabled {
+            return;
+        }
+        let Some(log) = &report.trace else {
+            return;
+        };
+        let header = Json::obj([
+            ("type", Json::Str("run".to_string())),
+            ("label", Json::Str(label.to_string())),
+            ("policy", Json::Str(report.policy.clone())),
+        ]);
+        self.out.push_str(&header.to_string());
+        self.out.push('\n');
+        self.out.push_str(&log.to_jsonl());
+        self.runs += 1;
+    }
+
+    /// Runs recorded so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The collected JSONL text.
+    pub fn jsonl(&self) -> &str {
+        &self.out
+    }
+
+    /// Writes `TRACE_<name>.jsonl` into [`results_dir`] (no-op when off
+    /// or empty).
+    pub fn finish(self) {
+        let dir = results_dir();
+        self.finish_into(&dir);
+    }
+
+    /// [`TraceCollector::finish`] with an explicit output directory.
+    pub fn finish_into(self, dir: &std::path::Path) {
+        if !self.enabled || self.runs == 0 {
+            return;
+        }
+        let path = dir.join(format!("TRACE_{}.jsonl", self.name));
+        let io = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &self.out));
+        match io {
+            Ok(()) => println!("trace artifact: {} ({} runs)", path.display(), self.runs),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
 /// Formats a duration with a human-friendly unit.
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();

@@ -25,14 +25,28 @@ pub const SOLO_TARGET_MISSES: u64 = 120_000;
 /// Default memory operations per program for multiprogram experiments.
 pub const MULTI_TARGET_MISSES: u64 = 60_000;
 
-/// Reads the per-program memory-operation target: first CLI argument, then
-/// the `PROFESS_TARGET` environment variable, then `default`.
+/// Reads the per-program memory-operation target: first non-flag CLI
+/// argument (flags like `--trace` are skipped), then the
+/// `PROFESS_TARGET` environment variable, then `default`.
 pub fn target_from_args(default: u64) -> u64 {
     std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
         .or_else(|| std::env::var("PROFESS_TARGET").ok())
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// Handles the figure binaries' `--trace` flag: when present, sets
+/// `PROFESS_TRACE=1` so every [`SystemBuilder`] constructed afterwards
+/// (they default to [`profess_obs::TraceConfig::from_env`]) records a
+/// trace. Returns whether tracing is active (flag or pre-set
+/// environment). Call this before the first simulation.
+pub fn init_trace_flag() -> bool {
+    if std::env::args().skip(1).any(|a| a == "--trace") {
+        std::env::set_var(profess_obs::TRACE_ENV, "1");
+    }
+    profess_obs::TraceConfig::from_env().enabled
 }
 
 /// Summary statistics of a normalized series (`measured / baseline`).
@@ -254,6 +268,22 @@ pub fn normalized_sweep_on(
     target_misses: u64,
     workloads: &[Workload],
 ) -> Vec<NormalizedRow> {
+    let mut sink = harness::TraceCollector::disabled();
+    normalized_sweep_traced(pool, cfg, policy, target_misses, workloads, &mut sink)
+}
+
+/// [`normalized_sweep_on`] that additionally records every multiprogram
+/// run's trace into `traces` (labelled `<workload>:<policy>`). Runs are
+/// recorded in job order — workload order, PoM before `policy` — so the
+/// collected JSONL does not depend on the pool's thread count.
+pub fn normalized_sweep_traced(
+    pool: &Pool,
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    target_misses: u64,
+    workloads: &[Workload],
+    traces: &mut harness::TraceCollector,
+) -> Vec<NormalizedRow> {
     let mut cache = SoloCache::new();
     cache.warm(
         pool,
@@ -270,6 +300,9 @@ pub fn normalized_sweep_on(
     let reports = pool.map(&jobs, |&(wi, pk)| {
         run_workload(cfg, pk, &workloads[wi], target_misses)
     });
+    for (&(wi, pk), report) in jobs.iter().zip(&reports) {
+        traces.record(&format!("{}:{}", workloads[wi].id, pk.name()), report);
+    }
     let mut rows = Vec::new();
     for (i, w) in workloads.iter().enumerate() {
         let base_solo = cache.solo_ipcs(cfg, PolicyKind::Pom, w, target_misses);
@@ -405,6 +438,7 @@ mod tests {
             truncated: false,
             sampling: vec![],
             diag: Default::default(),
+            trace: None,
         }
     }
 

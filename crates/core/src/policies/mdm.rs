@@ -167,6 +167,31 @@ impl MdmVerdict {
                 | MdmVerdict::NetBenefit
         )
     }
+
+    /// Stable snake_case name used in trace artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            MdmVerdict::NoBenefit => "no_benefit",
+            MdmVerdict::VacantM1 => "vacant_m1",
+            MdmVerdict::IdleM1 => "idle_m1",
+            MdmVerdict::ExhaustedM1 => "exhausted_m1",
+            MdmVerdict::NetBenefit => "net_benefit",
+            MdmVerdict::KeepM1 => "keep_m1",
+        }
+    }
+}
+
+/// An [`MdmCore::assess`] result: the verdict plus the remaining-access
+/// estimates that produced it (for trace events; `rem_m1` is present only
+/// when the M1 occupant was actually consulted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdmAssessment {
+    /// Which §3.2.3 rule fired.
+    pub verdict: MdmVerdict,
+    /// Predicted remaining accesses to the accessed M2 block (eq. 8).
+    pub rem_m2: f64,
+    /// Predicted remaining accesses to the M1 occupant, when consulted.
+    pub rem_m1: Option<f64>,
 }
 
 impl MdmCore {
@@ -197,19 +222,30 @@ impl MdmCore {
     /// Full §3.2.3 analysis for an access context. `ignore_m1` implements
     /// ProFess Case 1 ("consider M1 vacant and use MDM").
     pub fn analyze(&self, ctx: &AccessCtx<'_>, ignore_m1: bool) -> MdmVerdict {
+        self.assess(ctx, ignore_m1).verdict
+    }
+
+    /// [`MdmCore::analyze`] with the remaining-access estimates exposed
+    /// (for trace events).
+    pub fn assess(&self, ctx: &AccessCtx<'_>, ignore_m1: bool) -> MdmAssessment {
         debug_assert!(ctx.actual_slot.is_m2());
         let min_benefit = f64::from(self.params.min_benefit);
         let cnt2 = ctx.entry.ac[ctx.orig_slot.index()];
         let q2 = ctx.entry.q_i[ctx.orig_slot.index()];
         let rem2 = self.remaining(ctx.program, q2, cnt2);
+        let done = |verdict, rem_m1| MdmAssessment {
+            verdict,
+            rem_m2: rem2,
+            rem_m1,
+        };
         if rem2 < min_benefit {
-            return MdmVerdict::NoBenefit;
+            return done(MdmVerdict::NoBenefit, None);
         }
         if ignore_m1 {
-            return MdmVerdict::VacantM1;
+            return done(MdmVerdict::VacantM1, None);
         }
         let Some(p1) = ctx.m1_owner else {
-            return MdmVerdict::VacantM1; // rule (a)
+            return done(MdmVerdict::VacantM1, None); // rule (a)
         };
         let cnt1 = ctx.entry.ac[ctx.m1_resident.index()];
         if cnt1 == 0 {
@@ -222,7 +258,7 @@ impl MdmCore {
             let other_active = profess_types::SlotIdx::all()
                 .any(|s| s != ctx.orig_slot && s != ctx.m1_resident && ctx.entry.ac[s.index()] > 0);
             if other_active {
-                return MdmVerdict::IdleM1;
+                return done(MdmVerdict::IdleM1, None);
             }
             // Otherwise treat the M1 block as freshly observed: fall
             // through to the remaining-accesses comparison with its QAC
@@ -230,13 +266,12 @@ impl MdmCore {
         }
         let q1 = ctx.entry.q_i[ctx.m1_resident.index()];
         let rem1 = self.remaining(p1, q1, cnt1);
-        let _ = p1;
         if rem1 <= 0.0 {
-            MdmVerdict::ExhaustedM1 // rule (c.i)
+            done(MdmVerdict::ExhaustedM1, Some(rem1)) // rule (c.i)
         } else if rem2 - rem1 >= min_benefit {
-            MdmVerdict::NetBenefit // rule (c.ii)
+            done(MdmVerdict::NetBenefit, Some(rem1)) // rule (c.ii)
         } else {
-            MdmVerdict::KeepM1
+            done(MdmVerdict::KeepM1, Some(rem1))
         }
     }
 
@@ -285,7 +320,16 @@ impl MigrationPolicy for MdmPolicy {
         if ctx.actual_slot.is_m1() {
             return Decision::Stay;
         }
-        if self.core.analyze(ctx, false).promotes() {
+        let a = self.core.assess(ctx, false);
+        if ctx.want_trace {
+            ctx.trace = Some(super::DecisionTrace {
+                case: "-",
+                verdict: a.verdict.name(),
+                rem_m2: a.rem_m2,
+                rem_m1: a.rem_m1,
+            });
+        }
+        if a.verdict.promotes() {
             Decision::Promote
         } else {
             Decision::Stay

@@ -19,12 +19,31 @@ pub mod rsm_guided;
 pub mod silcfm;
 pub mod static_;
 
+use profess_obs::TraceEvent;
 use profess_types::ids::{ProgramId, SlotIdx};
 use profess_types::{Cycle, GroupId};
 
 use crate::org::StEntry;
 use crate::regions::RegionClass;
 use crate::stc::CachedEntry;
+
+/// A policy's account of one migration decision, filled into
+/// [`AccessCtx::trace`] when the system requests it
+/// ([`AccessCtx::want_trace`]); the system turns it into an
+/// [`TraceEvent::MdmDecision`] event. Policies without a cost/benefit
+/// model simply leave it empty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionTrace {
+    /// RSM guidance case steering the decision (`"-"` outside ProFess).
+    pub case: &'static str,
+    /// The verdict name (an [`mdm::MdmVerdict`] name, or `"vetoed"` when
+    /// guidance prohibited the swap before MDM ran).
+    pub verdict: &'static str,
+    /// Expected remaining accesses to the accessed M2 block.
+    pub rem_m2: f64,
+    /// Expected remaining accesses to the M1 occupant, when consulted.
+    pub rem_m1: Option<f64>,
+}
 
 /// Context for a migration decision on a served data request.
 ///
@@ -57,6 +76,12 @@ pub struct AccessCtx<'a> {
     /// Owner of the M1-resident block; `None` if that original block was
     /// never allocated (M1 location effectively vacant).
     pub m1_owner: Option<ProgramId>,
+    /// When true the system is tracing and asks the policy to fill
+    /// [`AccessCtx::trace`]; policies must not pay for trace bookkeeping
+    /// when this is false.
+    pub want_trace: bool,
+    /// The policy's decision account (response to `want_trace`).
+    pub trace: Option<DecisionTrace>,
 }
 
 /// A policy's verdict for the accessed block.
@@ -145,6 +170,16 @@ pub trait MigrationPolicy {
     fn diagnostics(&self) -> PolicyDiagnostics {
         PolicyDiagnostics::default()
     }
+
+    /// Tells the policy whether the system is tracing. Policies with
+    /// internal event sources (RSM epoch reports) buffer them only while
+    /// tracing is on; the default does nothing.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// Drains events the policy buffered since the last call (RSM epoch
+    /// reports), stamping them with the current cycle. The default emits
+    /// nothing.
+    fn drain_trace(&mut self, _now: Cycle, _out: &mut Vec<TraceEvent>) {}
 }
 
 #[cfg(test)]
@@ -185,6 +220,8 @@ pub(crate) mod testutil {
             st_entry: st,
             m1_resident,
             m1_owner,
+            want_trace: false,
+            trace: None,
         };
         policy.on_access(&mut ctx)
     }

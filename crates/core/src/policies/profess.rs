@@ -16,13 +16,14 @@
 //! Small thresholds (1/32 per factor, 1/16 for the product condition)
 //! exclude near-ties (paper §3.3).
 
+use profess_obs::TraceEvent;
 use profess_types::config::{MdmParams, RsmParams};
 use profess_types::ids::ProgramId;
 use profess_types::Cycle;
 
 use super::mdm::MdmCore;
-use super::rsm::Rsm;
-use super::{AccessCtx, Decision, EvictRecord, MigrationPolicy, PolicyDiagnostics};
+use super::rsm::{EpochReport, Rsm};
+use super::{AccessCtx, Decision, DecisionTrace, EvictRecord, MigrationPolicy, PolicyDiagnostics};
 use crate::regions::RegionClass;
 
 /// Which Table 7 rule resolved a cross-program decision (diagnostics).
@@ -38,6 +39,19 @@ pub enum GuidanceCase {
     ProtectM1Product,
     /// Default: plain MDM.
     Default,
+}
+
+impl GuidanceCase {
+    /// Stable snake_case name used in trace artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            GuidanceCase::SameProgram => "same_program",
+            GuidanceCase::HelpM2 => "help_m2",
+            GuidanceCase::ProtectM1 => "protect_m1",
+            GuidanceCase::ProtectM1Product => "protect_m1_product",
+            GuidanceCase::Default => "default",
+        }
+    }
 }
 
 /// Counters of how often each guidance case fired.
@@ -62,6 +76,8 @@ pub struct ProfessPolicy {
     stats: GuidanceStats,
     /// When `false`, Case 3's product rule is disabled (ablation).
     case3_enabled: bool,
+    tracing: bool,
+    pending_epochs: Vec<EpochReport>,
 }
 
 impl ProfessPolicy {
@@ -73,6 +89,8 @@ impl ProfessPolicy {
             rsm_params: rsm,
             stats: GuidanceStats::default(),
             case3_enabled: true,
+            tracing: false,
+            pending_epochs: Vec::new(),
         }
     }
 
@@ -135,36 +153,62 @@ impl MigrationPolicy for ProfessPolicy {
             Some(p1) if p1 != ctx.program => self.classify(p1, ctx.program),
             _ => GuidanceCase::SameProgram,
         };
-        let verdict = match case {
-            GuidanceCase::SameProgram => self.mdm.analyze(ctx, false),
+        // `None` assessment = the guidance case vetoed the swap before MDM
+        // ran.
+        let assessment = match case {
+            GuidanceCase::SameProgram => Some(self.mdm.assess(ctx, false)),
             GuidanceCase::HelpM2 => {
                 self.stats.help_m2 += 1;
                 // Consider M1 vacant, but RSM is agnostic to M1/M2
                 // characteristics: MDM still judges the benefit.
-                self.mdm.analyze(ctx, true)
+                Some(self.mdm.assess(ctx, true))
             }
             GuidanceCase::ProtectM1 => {
                 self.stats.protect_m1 += 1;
-                return Decision::Stay;
+                None
             }
             GuidanceCase::ProtectM1Product => {
                 self.stats.protect_m1_product += 1;
-                return Decision::Stay;
+                None
             }
             GuidanceCase::Default => {
                 self.stats.default_mdm += 1;
-                self.mdm.analyze(ctx, false)
+                Some(self.mdm.assess(ctx, false))
             }
         };
-        if verdict.promotes() {
-            Decision::Promote
-        } else {
-            Decision::Stay
+        if ctx.want_trace {
+            ctx.trace = Some(match assessment {
+                Some(a) => DecisionTrace {
+                    case: case.name(),
+                    verdict: a.verdict.name(),
+                    rem_m2: a.rem_m2,
+                    rem_m1: a.rem_m1,
+                },
+                None => {
+                    let cnt2 = ctx.entry.ac[ctx.orig_slot.index()];
+                    let q2 = ctx.entry.q_i[ctx.orig_slot.index()];
+                    DecisionTrace {
+                        case: case.name(),
+                        verdict: "vetoed",
+                        rem_m2: self.mdm.remaining(ctx.program, q2, cnt2),
+                        rem_m1: None,
+                    }
+                }
+            });
+        }
+        match assessment {
+            Some(a) if a.verdict.promotes() => Decision::Promote,
+            _ => Decision::Stay,
         }
     }
 
     fn on_served(&mut self, program: ProgramId, class: RegionClass, from_m1: bool) {
-        self.rsm.on_served(program, class, from_m1);
+        let epoch = self.rsm.on_served(program, class, from_m1);
+        if self.tracing {
+            if let Some(e) = epoch {
+                self.pending_epochs.push(e);
+            }
+        }
     }
 
     fn on_swap(&mut self, promoted: ProgramId, demoted: Option<ProgramId>, group_is_private: bool) {
@@ -187,6 +231,26 @@ impl MigrationPolicy for ProfessPolicy {
         PolicyDiagnostics {
             guidance: Some(self.stats),
             sfs: (0..n).map(|i| self.rsm.sf(ProgramId(i as u8))).collect(),
+        }
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.pending_epochs.clear();
+        }
+    }
+
+    fn drain_trace(&mut self, now: Cycle, out: &mut Vec<TraceEvent>) {
+        for e in self.pending_epochs.drain(..) {
+            out.push(TraceEvent::RsmEpoch {
+                at: now.raw(),
+                program: e.program.0,
+                period: e.period,
+                raw_sf_a: e.raw_sf_a,
+                sf_a: e.sf_a,
+                sf_b: e.sf_b,
+            });
         }
     }
 }

@@ -35,6 +35,22 @@ pub struct SfSample {
     pub avg_sf_a: f64,
 }
 
+/// The outcome of one closed sampling period, returned by
+/// [`Rsm::on_served`] so a tracing system can emit an `rsm_epoch` event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochReport {
+    /// Program the period closed for.
+    pub program: ProgramId,
+    /// 1-based index of the completed period.
+    pub period: u64,
+    /// Raw per-period SF_A before smoothing.
+    pub raw_sf_a: f64,
+    /// Smoothed SF_A after this period.
+    pub sf_a: f64,
+    /// Smoothed SF_B after this period.
+    pub sf_b: f64,
+}
+
 #[derive(Debug, Clone)]
 struct ProgState {
     raw: [u64; 6],
@@ -43,6 +59,7 @@ struct ProgState {
     sf_a: f64,
     sf_b: f64,
     samples: Vec<SfSample>,
+    periods: u64,
 }
 
 impl ProgState {
@@ -54,6 +71,7 @@ impl ProgState {
             sf_a: 1.0,
             sf_b: 1.0,
             samples: Vec::new(),
+            periods: 0,
         }
     }
 }
@@ -97,8 +115,15 @@ impl Rsm {
         &self.states[p.index()].samples
     }
 
-    /// Records a served request.
-    pub fn on_served(&mut self, p: ProgramId, class: RegionClass, from_m1: bool) {
+    /// Records a served request. Returns the period report when this
+    /// request closed a sampling period (tracing hooks use it; the hot
+    /// path simply drops the `Option`).
+    pub fn on_served(
+        &mut self,
+        p: ProgramId,
+        class: RegionClass,
+        from_m1: bool,
+    ) -> Option<EpochReport> {
         let m_samp = self.params.m_samp;
         let s = &mut self.states[p.index()];
         match class {
@@ -117,7 +142,9 @@ impl Rsm {
         }
         s.served_this_period += 1;
         if s.served_this_period >= m_samp {
-            self.sample(p);
+            Some(self.sample(p))
+        } else {
+            None
         }
     }
 
@@ -141,7 +168,7 @@ impl Rsm {
 
     /// Closes a program's sampling period: smooths the counters, updates
     /// SF_A and SF_B, and resets the raw counters (paper §3.1.3).
-    fn sample(&mut self, p: ProgramId) {
+    fn sample(&mut self, p: ProgramId) -> EpochReport {
         let alpha = self.params.alpha;
         let keep = self.keep_samples;
         let s = &mut self.states[p.index()];
@@ -161,8 +188,8 @@ impl Rsm {
         };
         let sf_a = (sm[REQ_M1_P] / sm[REQ_TOT_P]) / (sm[REQ_M1_S] / sm[REQ_TOT_S]);
         let sf_b = sm[SWAP_TOT] / sm[SWAP_SELF];
+        let raw_sf_a = (raw1[REQ_M1_P] / raw1[REQ_TOT_P]) / (raw1[REQ_M1_S] / raw1[REQ_TOT_S]);
         if keep {
-            let raw_sf_a = (raw1[REQ_M1_P] / raw1[REQ_TOT_P]) / (raw1[REQ_M1_S] / raw1[REQ_TOT_S]);
             s.samples.push(SfSample {
                 raw_sf_a,
                 avg_sf_a: sf_a,
@@ -172,6 +199,14 @@ impl Rsm {
         s.sf_b = sf_b;
         s.raw = [0; 6];
         s.served_this_period = 0;
+        s.periods += 1;
+        EpochReport {
+            program: p,
+            period: s.periods,
+            raw_sf_a,
+            sf_a,
+            sf_b,
+        }
     }
 }
 

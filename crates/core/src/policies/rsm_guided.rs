@@ -19,12 +19,13 @@
 //! The paper did not evaluate this combination; it is provided (and
 //! tested) as the library-level extension the paper proposes.
 
+use profess_obs::TraceEvent;
 use profess_types::config::RsmParams;
 use profess_types::ids::{ProgramId, SlotIdx};
 use profess_types::{Cycle, GroupId};
 
 use super::profess::GuidanceStats;
-use super::rsm::Rsm;
+use super::rsm::{EpochReport, Rsm};
 use super::{AccessCtx, Decision, EvictRecord, MigrationPolicy, PolicyDiagnostics};
 use crate::regions::RegionClass;
 
@@ -35,6 +36,8 @@ pub struct RsmGuided {
     params: RsmParams,
     stats: GuidanceStats,
     name: &'static str,
+    tracing: bool,
+    pending_epochs: Vec<EpochReport>,
 }
 
 impl std::fmt::Debug for RsmGuided {
@@ -60,6 +63,8 @@ impl RsmGuided {
             params,
             stats: GuidanceStats::default(),
             name,
+            tracing: false,
+            pending_epochs: Vec::new(),
         }
     }
 
@@ -121,7 +126,12 @@ impl MigrationPolicy for RsmGuided {
     }
 
     fn on_served(&mut self, program: ProgramId, class: RegionClass, from_m1: bool) {
-        self.rsm.on_served(program, class, from_m1);
+        let epoch = self.rsm.on_served(program, class, from_m1);
+        if self.tracing {
+            if let Some(e) = epoch {
+                self.pending_epochs.push(e);
+            }
+        }
         self.inner.on_served(program, class, from_m1);
     }
 
@@ -150,6 +160,28 @@ impl MigrationPolicy for RsmGuided {
             guidance: Some(self.stats),
             sfs: (0..n).map(|i| self.rsm.sf(ProgramId(i as u8))).collect(),
         }
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.pending_epochs.clear();
+        }
+        self.inner.set_tracing(on);
+    }
+
+    fn drain_trace(&mut self, now: Cycle, out: &mut Vec<TraceEvent>) {
+        for e in self.pending_epochs.drain(..) {
+            out.push(TraceEvent::RsmEpoch {
+                at: now.raw(),
+                program: e.program.0,
+                period: e.period,
+                raw_sf_a: e.raw_sf_a,
+                sf_a: e.sf_a,
+                sf_b: e.sf_b,
+            });
+        }
+        self.inner.drain_trace(now, out);
     }
 }
 

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 
 use profess_cpu::{CoreRequest, CoreSim, MemOpKind, OpSource};
 use profess_mem::{AccessKind, ChannelSim, PhysRequest, Served};
+use profess_obs::{Log2Histogram, TraceConfig, TraceEvent, TraceLog, Tracer};
 use profess_trace::SpecProgram;
 use profess_types::config::SystemConfig;
 use profess_types::geometry::Geometry;
@@ -176,6 +177,11 @@ pub struct SystemReport {
     pub sampling: Vec<Option<SamplingReport>>,
     /// Policy-specific diagnostics (ProFess: guidance stats, SF values).
     pub diag: crate::policies::PolicyDiagnostics,
+    /// The drained event trace; `None` unless tracing was enabled
+    /// ([`SystemBuilder::trace`] / `PROFESS_TRACE`). Deliberately not
+    /// part of the serialized report: the headline artifacts stay
+    /// byte-identical whether or not a run was traced.
+    pub trace: Option<Box<TraceLog>>,
 }
 
 impl SystemReport {
@@ -198,6 +204,7 @@ pub struct SystemBuilder {
     programs: Vec<(String, ProgramFactory)>,
     max_cycles: u64,
     sample_regions: bool,
+    trace: TraceConfig,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -219,7 +226,16 @@ impl SystemBuilder {
             programs: Vec::new(),
             max_cycles: 2_000_000_000,
             sample_regions: false,
+            trace: TraceConfig::from_env(),
         }
+    }
+
+    /// Overrides the tracing configuration (the default comes from the
+    /// `PROFESS_TRACE` environment; tests pass an explicit config so they
+    /// never depend on process-global state).
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = cfg;
+        self
     }
 
     /// Selects the migration policy.
@@ -411,6 +427,16 @@ struct System {
     clock: Cycle,
     max_cycles: u64,
     truncated: bool,
+    // Event tracing (off by default). `tracing` mirrors
+    // `tracer.is_on()` so hot paths branch on a plain bool; `trace_rsm`
+    // is a shadow RSM run only when tracing under a policy without its
+    // own RSM, so every traced run yields rsm_epoch events.
+    tracing: bool,
+    trace_cfg: TraceConfig,
+    tracer: Tracer,
+    trace_rsm: Option<crate::policies::rsm::Rsm>,
+    served_since_sample: u64,
+    policy_trace_buf: Vec<TraceEvent>,
 }
 
 impl System {
@@ -426,7 +452,7 @@ impl System {
         };
         let alloc = FrameAllocator::new(&geom, region_map.clone(), cfg.seed);
         let lines_per_block = geom.lines_per_block();
-        let channels: Vec<ChannelSim> = (0..geom.num_channels)
+        let mut channels: Vec<ChannelSim> = (0..geom.num_channels)
             .map(|_| {
                 ChannelSim::new(
                     cfg.mem.clone(),
@@ -441,7 +467,7 @@ impl System {
             .collect();
         let k = cfg.mem.pom_k(lines_per_block);
         let custom = b.custom_policy.map(|(p, _)| p);
-        let policy: Box<dyn MigrationPolicy> = if let Some(p) = custom {
+        let mut policy: Box<dyn MigrationPolicy> = if let Some(p) = custom {
             p
         } else {
             match b.policy {
@@ -475,10 +501,26 @@ impl System {
             names.push(name);
             factories.push(f);
         }
-        let cores: Vec<CoreSim> = factories
+        let mut cores: Vec<CoreSim> = factories
             .iter()
             .map(|f| CoreSim::new(&cfg.cpu, &cfg.mem.clock, f(0)))
             .collect();
+        let trace_cfg = b.trace;
+        let tracing = trace_cfg.enabled;
+        let trace_rsm = if tracing {
+            policy.set_tracing(true);
+            channels.iter_mut().for_each(ChannelSim::enable_obs);
+            cores.iter_mut().for_each(CoreSim::enable_obs);
+            // Policies with private regions run their own RSM and report
+            // epochs via drain_trace; a shadow RSM covers the rest.
+            if custom_private.unwrap_or_else(|| b.policy.uses_private_regions()) {
+                None
+            } else {
+                Some(crate::policies::rsm::Rsm::new(cfg.rsm, n_prog))
+            }
+        } else {
+            None
+        };
         let sampler_rsm = if b.sample_regions {
             let mut r = crate::policies::rsm::Rsm::new(cfg.rsm, n_prog);
             r.keep_samples(true);
@@ -512,6 +554,12 @@ impl System {
             clock: Cycle::ZERO,
             max_cycles: b.max_cycles,
             truncated: false,
+            tracing,
+            trace_cfg,
+            tracer: Tracer::new(&trace_cfg),
+            trace_rsm,
+            served_since_sample: 0,
+            policy_trace_buf: Vec::new(),
             cfg,
             geom,
             channels,
@@ -680,11 +728,28 @@ impl System {
         let m2_loc = self.geom.slot_loc(group, actual);
         let now = self.clock;
         self.ch_dirty[ch] = true;
-        self.channels[ch].begin_swap(now, m1_loc, m2_loc);
+        let done = self.channels[ch].begin_swap(now, m1_loc, m2_loc);
         let promoted_owner = self
             .owner(group, orig_slot)
             .expect("accessed block must be allocated");
         let demoted_owner = self.owner(group, m1_res);
+        // The swap is atomic in this model (the channel blocks until
+        // `done`), so the completion event is emitted alongside the begin,
+        // pre-stamped with the completion cycle.
+        self.tracer.emit_with(|| TraceEvent::SwapBegin {
+            at: now.raw(),
+            channel: ch as u16,
+            group: group.0,
+            slot: orig_slot.0,
+            promoted: promoted_owner.0,
+            demoted: demoted_owner.map(|p| p.0),
+            done: done.raw(),
+        });
+        self.tracer.emit_with(|| TraceEvent::SwapComplete {
+            at: done.raw(),
+            channel: ch as u16,
+            group: group.0,
+        });
         {
             let e = self.st.entry_mut(group);
             e.swap(orig_slot, m1_res);
@@ -699,6 +764,11 @@ impl System {
             .region_map
             .owner_of_region(self.geom.region_of(group))
             .is_some();
+        if let Some(rsm) = &mut self.trace_rsm {
+            if !group_is_private {
+                rsm.on_swap(promoted_owner, demoted_owner);
+            }
+        }
         self.policy
             .on_swap(promoted_owner, demoted_owner, group_is_private);
     }
@@ -748,6 +818,9 @@ impl System {
                 if let Some(rsm) = &mut self.sampler_rsm {
                     rsm.on_served(program, class, from_m1);
                 }
+                if self.tracing {
+                    self.on_served_trace(program, class, from_m1);
+                }
                 if !self.region_samplers.is_empty() {
                     let region = self.geom.region_of(group).index();
                     self.region_samplers[core].on_served(region);
@@ -784,12 +857,74 @@ impl System {
                     st_entry,
                     m1_resident,
                     m1_owner,
+                    want_trace: self.tracing,
+                    trace: None,
                 };
                 let decision = self.policy.on_access(&mut ctx);
-                if decision == Decision::Promote && actual_slot.is_m2() {
+                let trace = ctx.trace.take();
+                let promote = decision == Decision::Promote && actual_slot.is_m2();
+                if let Some(t) = trace {
+                    self.tracer.push(TraceEvent::MdmDecision {
+                        at: self.clock.raw(),
+                        program: program.0,
+                        group: group.0,
+                        case: t.case,
+                        verdict: t.verdict,
+                        rem_m2: t.rem_m2,
+                        rem_m1: t.rem_m1,
+                        promote,
+                    });
+                }
+                if promote {
                     let mark_dirty = self.policy_kind != PolicyKind::MemPod;
                     self.do_swap(group, orig_slot, mark_dirty);
                 }
+            }
+        }
+    }
+
+    /// Tracing-only bookkeeping for a served data request: feeds the
+    /// shadow RSM (policies without an internal one), drains any
+    /// policy-side trace events, and takes periodic queue-occupancy
+    /// samples. Kept out of line so the `self.tracing` branch in
+    /// `handle_served` stays a single predictable jump when off.
+    #[inline(never)]
+    fn on_served_trace(
+        &mut self,
+        program: ProgramId,
+        class: crate::regions::RegionClass,
+        from_m1: bool,
+    ) {
+        let at = self.clock.raw();
+        if let Some(rsm) = &mut self.trace_rsm {
+            if let Some(e) = rsm.on_served(program, class, from_m1) {
+                self.tracer.push(TraceEvent::RsmEpoch {
+                    at,
+                    program: e.program.0,
+                    period: e.period,
+                    raw_sf_a: e.raw_sf_a,
+                    sf_a: e.sf_a,
+                    sf_b: e.sf_b,
+                });
+            }
+        }
+        self.policy
+            .drain_trace(self.clock, &mut self.policy_trace_buf);
+        for e in self.policy_trace_buf.drain(..) {
+            self.tracer.push(e);
+        }
+        self.served_since_sample += 1;
+        if self.served_since_sample >= self.trace_cfg.sample_every {
+            self.served_since_sample = 0;
+            for (i, ch) in self.channels.iter().enumerate() {
+                let (read_q, write_q, inflight) = ch.queue_state();
+                self.tracer.push(TraceEvent::QueueSample {
+                    at,
+                    channel: i as u16,
+                    read_q,
+                    write_q,
+                    inflight,
+                });
             }
         }
     }
@@ -806,6 +941,17 @@ impl System {
             if still_m2 && self.owner(group, orig_slot).is_some() {
                 // MemPod's ST-update overhead is ignored (paper §4.1).
                 self.do_swap(group, orig_slot, false);
+            } else {
+                self.tracer.emit_with(|| TraceEvent::SwapAbort {
+                    at: now.raw(),
+                    group: group.0,
+                    slot: orig_slot.0,
+                    reason: if still_m2 {
+                        "unallocated"
+                    } else {
+                        "already_promoted"
+                    },
+                });
             }
         }
     }
@@ -935,7 +1081,7 @@ impl System {
         self.report()
     }
 
-    fn report(self) -> SystemReport {
+    fn report(mut self) -> SystemReport {
         let elapsed = self.clock;
         let mut programs = Vec::new();
         for i in 0..self.cores.len() {
@@ -979,6 +1125,40 @@ impl System {
             row_hits += ch.stats().row_hits;
             channel_served += ch.stats().total_served();
         }
+        let trace = if self.tracing {
+            // Final flush: policy-side buffers may hold epoch reports
+            // from periods that closed after the last trace drain.
+            self.policy
+                .drain_trace(self.clock, &mut self.policy_trace_buf);
+            for e in self.policy_trace_buf.drain(..) {
+                self.tracer.push(e);
+            }
+            let tracer = std::mem::replace(&mut self.tracer, Tracer::off());
+            tracer.into_log().map(|mut log| {
+                let mut read_lat = Log2Histogram::new();
+                let mut queue_depth = Log2Histogram::new();
+                for ch in &mut self.channels {
+                    if let Some(obs) = ch.take_obs() {
+                        read_lat.merge(&obs.read_latency);
+                        queue_depth.merge(&obs.queue_depth);
+                    }
+                }
+                let mut rob = Log2Histogram::new();
+                for core in &mut self.cores {
+                    if let Some(obs) = core.take_obs() {
+                        rob.merge(&obs.rob_occupancy);
+                    }
+                }
+                log.hist("channel_read_latency", read_lat);
+                log.hist("channel_queue_depth", queue_depth);
+                log.hist("core_rob_occupancy", rob);
+                log.counter("total_served", total_served);
+                log.counter("swaps", swaps);
+                Box::new(log)
+            })
+        } else {
+            None
+        };
         let sampling: Vec<Option<SamplingReport>> = if let Some(rsm) = &self.sampler_rsm {
             (0..self.cores.len())
                 .map(|i| {
@@ -1040,6 +1220,7 @@ impl System {
             truncated: self.truncated,
             sampling,
             diag: self.policy.diagnostics(),
+            trace,
         }
     }
 }
@@ -1235,6 +1416,95 @@ mod tests {
         assert!(!report.truncated);
         assert!(report.programs[0].instructions >= 50_000);
         assert!(report.stc_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn untraced_report_carries_no_trace() {
+        let report = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Mdm)
+            .trace(TraceConfig::off())
+            .program("stream", scripted_stream(2000, 1, 30))
+            .run();
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn traced_profess_run_emits_lifecycle_events() {
+        let mut cfg = SystemConfig::scaled_quad();
+        cfg.rsm.m_samp = 128;
+        let report = SystemBuilder::new(cfg)
+            .policy(PolicyKind::Profess)
+            .trace(TraceConfig::on())
+            .program("a", scripted_chase(6000, 10))
+            .program("b", scripted_stream(6000, 7, 20))
+            .run();
+        let log = report.trace.as_ref().expect("tracing was on");
+        assert!(log.count_kind("swap_begin") >= 1, "no swaps traced");
+        assert_eq!(
+            log.count_kind("swap_complete"),
+            log.count_kind("swap_begin"),
+            "every begin must pair with a complete"
+        );
+        assert!(log.count_kind("mdm_decision") >= 1);
+        assert!(
+            log.count_kind("rsm_epoch") >= 1,
+            "ProFess's internal RSM must surface epoch reports"
+        );
+        assert!(log.count_kind("queue_sample") >= 1);
+        // Histograms are folded in at end of run.
+        let lat = log
+            .hists
+            .iter()
+            .find(|(n, _)| *n == "channel_read_latency")
+            .map(|(_, h)| h)
+            .expect("read-latency histogram present");
+        assert!(lat.count() > 0);
+        // Counters mirror the report.
+        let swaps = log
+            .counters
+            .iter()
+            .find(|(n, _)| *n == "swaps")
+            .map(|(_, v)| *v);
+        assert_eq!(swaps, Some(report.swaps));
+        // Every JSONL line parses.
+        for line in log.to_jsonl().lines() {
+            profess_metrics::emit::Json::parse(line).expect("JSONL line must parse");
+        }
+    }
+
+    #[test]
+    fn traced_mdm_run_uses_shadow_rsm_for_epochs() {
+        // MDM has no internal RSM and no private regions; epoch reports
+        // must come from the system's shadow monitor.
+        let mut cfg = SystemConfig::scaled_quad();
+        cfg.rsm.m_samp = 128;
+        let report = SystemBuilder::new(cfg)
+            .policy(PolicyKind::Mdm)
+            .trace(TraceConfig::on())
+            .program("a", scripted_chase(6000, 10))
+            .program("b", scripted_stream(6000, 7, 20))
+            .run();
+        let log = report.trace.as_ref().expect("tracing was on");
+        assert!(log.count_kind("rsm_epoch") >= 1, "shadow RSM must report");
+        assert!(log.count_kind("mdm_decision") >= 1);
+        let verdicts = log.events.iter().filter_map(|e| match e {
+            profess_obs::TraceEvent::MdmDecision { verdict, .. } => Some(*verdict),
+            _ => None,
+        });
+        for v in verdicts {
+            assert!(
+                matches!(
+                    v,
+                    "no_benefit"
+                        | "vacant_m1"
+                        | "idle_m1"
+                        | "exhausted_m1"
+                        | "net_benefit"
+                        | "keep_m1"
+                ),
+                "unexpected verdict {v}"
+            );
+        }
     }
 
     #[test]

@@ -3,11 +3,21 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use profess_obs::Log2Histogram;
 use profess_types::clock::ClockSpec;
 use profess_types::config::CpuConfig;
 use profess_types::Cycle;
 
 use crate::op::{MemOp, MemOpKind, OpSource};
+
+/// Optional per-core profiling histograms, allocated only when the
+/// system enables observability (`PROFESS_TRACE`); with them off the
+/// timing loop pays one `Option` test per [`CoreSim::advance`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreObs {
+    /// ROB occupancy (unretired instructions) sampled at each advance.
+    pub rob_occupancy: Log2Histogram,
+}
 
 /// A memory request emitted by the core. `id` is the instruction sequence
 /// number of the op (unique per program instance) and is echoed back via
@@ -73,6 +83,7 @@ pub struct CoreSim {
     instance_start_slot: u64,
     loads_issued: u64,
     stores_issued: u64,
+    obs: Option<Box<CoreObs>>,
 }
 
 impl fmt::Debug for CoreSim {
@@ -109,7 +120,20 @@ impl CoreSim {
             instance_start_slot: 0,
             loads_issued: 0,
             stores_issued: 0,
+            obs: None,
         }
+    }
+
+    /// Enables per-core profiling histograms (off by default).
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::default());
+        }
+    }
+
+    /// Takes the profiling histograms, leaving observability disabled.
+    pub fn take_obs(&mut self) -> Option<Box<CoreObs>> {
+        self.obs.take()
     }
 
     /// Replaces the program (restart for multiprogram runs).
@@ -260,6 +284,14 @@ impl CoreSim {
     pub fn advance(&mut self, now: Cycle, out: &mut Vec<CoreRequest>) {
         if self.is_finished() {
             return;
+        }
+        if self.obs.is_some() {
+            let occ = self.exec_seq - self.retired_seq();
+            self.obs
+                .as_mut()
+                .expect("checked")
+                .rob_occupancy
+                .record(occ);
         }
         let now_slot = now.raw().saturating_mul(self.spmc);
         loop {
@@ -623,6 +655,21 @@ mod tests {
         let clock = ClockSpec::paper();
         let mut core = CoreSim::new(&cfg(), &clock, scripted(vec![load(5, 1)]));
         core.restart(scripted(vec![]));
+    }
+
+    #[test]
+    fn obs_histogram_samples_rob_occupancy() {
+        let clock = ClockSpec::paper();
+        let mut core = CoreSim::new(&cfg(), &clock, scripted(vec![load(10, 1)]));
+        assert!(core.take_obs().is_none(), "obs is off by default");
+        core.enable_obs();
+        let mut out = Vec::new();
+        core.advance(Cycle(10), &mut out);
+        core.advance(Cycle(20), &mut out);
+        let obs = core.take_obs().expect("obs enabled");
+        assert_eq!(obs.rob_occupancy.count(), 2);
+        // The second sample sees the unretired in-flight load.
+        assert!(obs.rob_occupancy.max() >= 1);
     }
 
     #[test]

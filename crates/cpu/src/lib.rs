@@ -27,5 +27,5 @@
 mod core_model;
 mod op;
 
-pub use core_model::{CoreRequest, CoreSim, WaitState};
+pub use core_model::{CoreObs, CoreRequest, CoreSim, WaitState};
 pub use op::{MemOp, MemOpKind, OpSource};

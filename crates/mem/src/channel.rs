@@ -2,6 +2,7 @@
 //! a data bus) with FR-FCFS-Cap scheduling, write draining, M1 refresh and
 //! channel-blocking block swaps.
 
+use profess_obs::Log2Histogram;
 use profess_types::config::{EnergyConfig, MemTimingConfig, TechTiming};
 use profess_types::geometry::{MemLoc, Module};
 use profess_types::Cycle;
@@ -10,6 +11,17 @@ use crate::bank::BankState;
 use crate::energy::EnergyCounters;
 use crate::request::{AccessKind, PhysRequest, Served};
 use crate::stats::ChannelStats;
+
+/// Optional per-channel profiling histograms, allocated only when the
+/// system enables observability (`PROFESS_TRACE`); the hot path pays a
+/// single `Option` test per record site when off.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelObs {
+    /// Read latency (enqueue to data end) in memory cycles.
+    pub read_latency: Log2Histogram,
+    /// Queue depth (reads + writes) sampled after each enqueue.
+    pub queue_depth: Log2Histogram,
+}
 
 #[derive(Debug, Clone, Copy)]
 struct Queued {
@@ -44,6 +56,7 @@ pub struct ChannelSim {
     energy: EnergyCounters,
     stats: ChannelStats,
     energy_cfg: EnergyConfig,
+    obs: Option<Box<ChannelObs>>,
 }
 
 impl ChannelSim {
@@ -71,7 +84,20 @@ impl ChannelSim {
             energy: EnergyCounters::default(),
             stats: ChannelStats::default(),
             energy_cfg,
+            obs: None,
         }
+    }
+
+    /// Enables per-channel profiling histograms (off by default).
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(Box::default());
+        }
+    }
+
+    /// Takes the profiling histograms, leaving observability disabled.
+    pub fn take_obs(&mut self) -> Option<Box<ChannelObs>> {
+        self.obs.take()
     }
 
     /// Enqueues a request at cycle `now`.
@@ -85,11 +111,25 @@ impl ChannelSim {
             AccessKind::Read => self.read_q.push(q),
             AccessKind::Write => self.write_q.push(q),
         }
+        let depth = (self.read_q.len() + self.write_q.len()) as u64;
+        if let Some(obs) = &mut self.obs {
+            obs.queue_depth.record(depth);
+        }
     }
 
     /// Number of queued (not yet scheduled) requests.
     pub fn queue_len(&self) -> usize {
         self.read_q.len() + self.write_q.len()
+    }
+
+    /// Current `(read queue, write queue, in flight)` sizes, for
+    /// queue-occupancy trace samples.
+    pub fn queue_state(&self) -> (u32, u32, u32) {
+        (
+            self.read_q.len() as u32,
+            self.write_q.len() as u32,
+            self.inflight.len() as u32,
+        )
     }
 
     /// Returns `true` if no request is queued or in flight.
@@ -267,6 +307,9 @@ impl ChannelSim {
             AccessKind::Read => {
                 self.stats.reads_served += 1;
                 self.stats.read_latency_sum += (data_end - q.enq).raw();
+                if let Some(obs) = &mut self.obs {
+                    obs.read_latency.record((data_end - q.enq).raw());
+                }
             }
             AccessKind::Write => self.stats.writes_served += 1,
         }
@@ -681,6 +724,26 @@ mod tests {
         let c = ch();
         assert_eq!(c.next_event(Cycle(5)), Cycle::NEVER);
         assert!(c.is_idle());
+    }
+
+    #[test]
+    fn obs_histograms_record_latency_and_depth() {
+        let mut c = ch();
+        assert!(c.take_obs().is_none(), "obs is off by default");
+        c.enable_obs();
+        c.push(rd(0, Module::M1, 0, 0), Cycle(0));
+        c.push(rd(1, Module::M1, 1, 0), Cycle(0));
+        let out = run_until_idle(&mut c, Cycle(0));
+        let obs = c.take_obs().expect("obs enabled");
+        assert_eq!(obs.read_latency.count(), 2);
+        assert_eq!(
+            obs.read_latency.max(),
+            out.iter().map(Served::latency).max().unwrap()
+        );
+        // Depth samples: 1 after the first push, 2 after the second.
+        assert_eq!(obs.queue_depth.count(), 2);
+        assert_eq!(obs.queue_depth.max(), 2);
+        assert!(c.take_obs().is_none(), "take_obs disables observability");
     }
 
     #[test]

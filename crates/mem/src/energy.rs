@@ -88,6 +88,84 @@ mod tests {
         assert!((one_sec - 0.21).abs() < 1e-9);
     }
 
+    /// Hand-computed fixture exercising every counter with a round-number
+    /// config: each term is exact in f64, so the sum is checked tightly.
+    #[test]
+    fn dynamic_energy_matches_hand_computation() {
+        let cfg = EnergyConfig {
+            m1_act_pj: 1_000.0,
+            m1_read_pj: 2_000.0,
+            m1_write_pj: 3_000.0,
+            m2_act_pj: 4_000.0,
+            m2_read_pj: 5_000.0,
+            m2_write_pj: 6_000.0,
+            m1_refresh_pj: 7_000.0,
+            m1_background_mw: 100.0,
+            m2_background_mw: 50.0,
+        };
+        let e = EnergyCounters {
+            m1_acts: 1,
+            m1_reads: 2,
+            m1_writes: 3,
+            m2_acts: 4,
+            m2_reads: 5,
+            m2_writes: 6,
+            m1_refreshes: 7,
+        };
+        // 1*1000 + 2*2000 + 3*3000 + 4*4000 + 5*5000 + 6*6000 + 7*7000
+        // = 1000 + 4000 + 9000 + 16000 + 25000 + 36000 + 49000 = 140 nJ.
+        let expected_pj = 140_000.0;
+        assert_eq!(e.dynamic_joules(&cfg), expected_pj * 1e-12);
+        // Background: 150 mW over 2 ms = 0.3 mJ, on top of the dynamic.
+        let total = e.total_joules(&cfg, 2e6);
+        let expected = expected_pj * 1e-12 + 0.15 * 2e-3;
+        assert!((total - expected).abs() < 1e-15, "{total} vs {expected}");
+    }
+
+    /// Merging is per-field addition and merging an empty counter is a
+    /// no-op (the channel-reduction identity the system report relies on).
+    #[test]
+    fn merge_is_fieldwise_with_zero_identity() {
+        let mut a = EnergyCounters {
+            m1_acts: 1,
+            m1_reads: 2,
+            m1_writes: 3,
+            m2_acts: 4,
+            m2_reads: 5,
+            m2_writes: 6,
+            m1_refreshes: 7,
+        };
+        let b = EnergyCounters {
+            m1_acts: 10,
+            m1_reads: 20,
+            m1_writes: 30,
+            m2_acts: 40,
+            m2_reads: 50,
+            m2_writes: 60,
+            m1_refreshes: 70,
+        };
+        a.merge(&b);
+        let merged = EnergyCounters {
+            m1_acts: 11,
+            m1_reads: 22,
+            m1_writes: 33,
+            m2_acts: 44,
+            m2_reads: 55,
+            m2_writes: 66,
+            m1_refreshes: 77,
+        };
+        assert_eq!(a, merged);
+        a.merge(&EnergyCounters::default());
+        assert_eq!(a, merged);
+    }
+
+    #[test]
+    fn zero_counters_have_zero_dynamic_energy() {
+        let cfg = EnergyConfig::default_values();
+        assert_eq!(EnergyCounters::default().dynamic_joules(&cfg), 0.0);
+        assert_eq!(EnergyCounters::default().total_joules(&cfg, 0.0), 0.0);
+    }
+
     #[test]
     fn nvm_writes_dominate() {
         let cfg = EnergyConfig::default_values();

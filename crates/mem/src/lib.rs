@@ -48,6 +48,6 @@ mod energy;
 mod request;
 pub mod stats;
 
-pub use channel::ChannelSim;
+pub use channel::{ChannelObs, ChannelSim};
 pub use energy::EnergyCounters;
 pub use request::{AccessKind, PhysRequest, Served};

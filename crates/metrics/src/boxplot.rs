@@ -127,6 +127,46 @@ mod tests {
         assert_eq!(b.geomean, 2.5);
     }
 
+    /// Hand-computed interpolated quantiles on even-length data:
+    /// for [1,2,3,4], pos(q) = q*3, so Q1 = 1.75, median = 2.5, Q3 = 3.25.
+    #[test]
+    fn interpolated_quartiles_on_even_length_data() {
+        let b = BoxPlot::from_values(&[4.0, 2.0, 1.0, 3.0]); // order-free
+        assert!((b.q1 - 1.75).abs() < 1e-12);
+        assert!((b.median - 2.5).abs() < 1e-12);
+        assert!((b.q3 - 3.25).abs() < 1e-12);
+        // IQR = 1.5, fences at -0.5 and 5.5: no outliers, whiskers at the
+        // data extremes.
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 4.0);
+        assert!(b.outliers.is_empty());
+        // geomean(1,2,3,4) = 24^(1/4).
+        assert!((b.geomean - 24f64.powf(0.25)).abs() < 1e-12);
+    }
+
+    /// A low extreme must land in `outliers` and pull the lower whisker
+    /// up to the smallest in-fence point.
+    #[test]
+    fn detects_low_outliers() {
+        let b = BoxPlot::from_values(&[0.01, 5.0, 5.1, 5.2, 5.3, 5.4]);
+        assert_eq!(b.outliers, vec![0.01]);
+        assert_eq!(b.whisker_lo, 5.0);
+        assert_eq!(b.whisker_hi, 5.4);
+    }
+
+    /// With interpolated quartiles the nearest in-fence point can sit
+    /// inside the box; the whisker must clamp to the box edge, never
+    /// invert past it.
+    #[test]
+    fn whiskers_never_invert_into_the_box() {
+        let b = BoxPlot::from_values(&[1.0, 1.0, 1.0, 1.0, 100.0]);
+        // Q1 = Q3 = 1, IQR = 0: 100 is an outlier, whiskers collapse to 1.
+        assert_eq!(b.outliers, vec![100.0]);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 1.0);
+        assert!(b.whisker_lo <= b.q1 && b.whisker_hi >= b.q3);
+    }
+
     #[test]
     fn display_renders() {
         let b = BoxPlot::from_values(&[1.0, 2.0, 3.0]);

@@ -1,0 +1,304 @@
+//! Typed trace events and their JSONL serialization.
+//!
+//! Events carry primitive fields only (cycle numbers, small ids) so the
+//! obs crate stays leaf-level: the simulator crates translate their
+//! domain types (`GroupId`, `SlotIdx`, `ProgramId`) at the emission
+//! site. One event serializes to one JSON object on one line, with a
+//! `type` discriminant first; the emitter is the same byte-stable
+//! `profess_metrics` one the reports use, so traces inherit the
+//! workspace's byte-identity guarantees.
+
+use profess_metrics::emit::Json;
+
+/// One structured simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A page-group swap was issued to a channel (`done` is the cycle
+    /// the channel finishes the transfer).
+    SwapBegin {
+        /// Issue cycle.
+        at: u64,
+        /// Channel index.
+        channel: u16,
+        /// Page group being reorganized.
+        group: u64,
+        /// The M2 slot being promoted.
+        slot: u8,
+        /// Program that owns the promoted block.
+        promoted: u8,
+        /// Program whose block is demoted out of M1 (if occupied).
+        demoted: Option<u8>,
+        /// Cycle at which the channel completes the swap.
+        done: u64,
+    },
+    /// The swap issued at `begin` reached its completion cycle.
+    SwapComplete {
+        /// Completion cycle (the `done` of the matching begin).
+        at: u64,
+        /// Channel index.
+        channel: u16,
+        /// Page group.
+        group: u64,
+    },
+    /// A scheduled migration was dropped before issue (e.g. a MemPod
+    /// MEA pick whose group no longer qualifies at poll time).
+    SwapAbort {
+        /// Cycle of the aborted attempt.
+        at: u64,
+        /// Page group.
+        group: u64,
+        /// The slot the dropped migration would have promoted.
+        slot: u8,
+        /// Why it was dropped.
+        reason: &'static str,
+    },
+    /// A migration-decision point in MDM's cost/benefit model (the
+    /// paper's probabilistic decision; this reproduction's MDM compares
+    /// expected remaining accesses rather than drawing from an RNG).
+    MdmDecision {
+        /// Decision cycle.
+        at: u64,
+        /// Accessing program.
+        program: u8,
+        /// Page group of the touched block.
+        group: u64,
+        /// RSM guidance case steering the decision (`"-"` outside
+        /// ProFess).
+        case: &'static str,
+        /// The MDM verdict name.
+        verdict: &'static str,
+        /// Expected remaining accesses to the contending M2 block.
+        rem_m2: f64,
+        /// Expected remaining accesses to the M1 occupant (absent when
+        /// M1 is vacant or not consulted).
+        rem_m1: Option<f64>,
+        /// Whether the access was promoted.
+        promote: bool,
+    },
+    /// An RSM sampling period completed for one program.
+    RsmEpoch {
+        /// Cycle the period closed.
+        at: u64,
+        /// Program the slowdown estimate is for.
+        program: u8,
+        /// 1-based index of the completed period.
+        period: u64,
+        /// Raw per-period SF_A before smoothing.
+        raw_sf_a: f64,
+        /// Smoothed slowdown factor SF_A.
+        sf_a: f64,
+        /// Swap-pressure factor SF_B.
+        sf_b: f64,
+    },
+    /// A periodic channel queue-occupancy sample.
+    QueueSample {
+        /// Sample cycle.
+        at: u64,
+        /// Channel index.
+        channel: u16,
+        /// Pending reads.
+        read_q: u32,
+        /// Pending writes.
+        write_q: u32,
+        /// Requests issued to banks but not yet served.
+        inflight: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The `type` discriminant used in the JSONL artifact.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::SwapBegin { .. } => "swap_begin",
+            TraceEvent::SwapComplete { .. } => "swap_complete",
+            TraceEvent::SwapAbort { .. } => "swap_abort",
+            TraceEvent::MdmDecision { .. } => "mdm_decision",
+            TraceEvent::RsmEpoch { .. } => "rsm_epoch",
+            TraceEvent::QueueSample { .. } => "queue_sample",
+        }
+    }
+
+    /// Serializes to the one-line JSON object (without the newline).
+    pub fn to_json(&self) -> Json {
+        let kind = ("type", Json::Str(self.kind().to_string()));
+        match *self {
+            TraceEvent::SwapBegin {
+                at,
+                channel,
+                group,
+                slot,
+                promoted,
+                demoted,
+                done,
+            } => Json::obj([
+                kind,
+                ("at", Json::UInt(at)),
+                ("channel", Json::UInt(u64::from(channel))),
+                ("group", Json::UInt(group)),
+                ("slot", Json::UInt(u64::from(slot))),
+                ("promoted", Json::UInt(u64::from(promoted))),
+                (
+                    "demoted",
+                    match demoted {
+                        Some(p) => Json::UInt(u64::from(p)),
+                        None => Json::Null,
+                    },
+                ),
+                ("done", Json::UInt(done)),
+            ]),
+            TraceEvent::SwapComplete { at, channel, group } => Json::obj([
+                kind,
+                ("at", Json::UInt(at)),
+                ("channel", Json::UInt(u64::from(channel))),
+                ("group", Json::UInt(group)),
+            ]),
+            TraceEvent::SwapAbort {
+                at,
+                group,
+                slot,
+                reason,
+            } => Json::obj([
+                kind,
+                ("at", Json::UInt(at)),
+                ("group", Json::UInt(group)),
+                ("slot", Json::UInt(u64::from(slot))),
+                ("reason", Json::Str(reason.to_string())),
+            ]),
+            TraceEvent::MdmDecision {
+                at,
+                program,
+                group,
+                case,
+                verdict,
+                rem_m2,
+                rem_m1,
+                promote,
+            } => Json::obj([
+                kind,
+                ("at", Json::UInt(at)),
+                ("program", Json::UInt(u64::from(program))),
+                ("group", Json::UInt(group)),
+                ("case", Json::Str(case.to_string())),
+                ("verdict", Json::Str(verdict.to_string())),
+                ("rem_m2", Json::Num(rem_m2)),
+                (
+                    "rem_m1",
+                    match rem_m1 {
+                        Some(x) => Json::Num(x),
+                        None => Json::Null,
+                    },
+                ),
+                ("promote", Json::Bool(promote)),
+            ]),
+            TraceEvent::RsmEpoch {
+                at,
+                program,
+                period,
+                raw_sf_a,
+                sf_a,
+                sf_b,
+            } => Json::obj([
+                kind,
+                ("at", Json::UInt(at)),
+                ("program", Json::UInt(u64::from(program))),
+                ("period", Json::UInt(period)),
+                ("raw_sf_a", Json::Num(raw_sf_a)),
+                ("sf_a", Json::Num(sf_a)),
+                ("sf_b", Json::Num(sf_b)),
+            ]),
+            TraceEvent::QueueSample {
+                at,
+                channel,
+                read_q,
+                write_q,
+                inflight,
+            } => Json::obj([
+                kind,
+                ("at", Json::UInt(at)),
+                ("channel", Json::UInt(u64::from(channel))),
+                ("read_q", Json::UInt(u64::from(read_q))),
+                ("write_q", Json::UInt(u64::from(write_q))),
+                ("inflight", Json::UInt(u64::from(inflight))),
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_serializes_with_type_first() {
+        let events = [
+            TraceEvent::SwapBegin {
+                at: 1,
+                channel: 0,
+                group: 2,
+                slot: 3,
+                promoted: 0,
+                demoted: Some(1),
+                done: 9,
+            },
+            TraceEvent::SwapComplete {
+                at: 9,
+                channel: 0,
+                group: 2,
+            },
+            TraceEvent::SwapAbort {
+                at: 4,
+                group: 2,
+                slot: 3,
+                reason: "stale",
+            },
+            TraceEvent::MdmDecision {
+                at: 5,
+                program: 0,
+                group: 2,
+                case: "-",
+                verdict: "net_benefit",
+                rem_m2: 3.5,
+                rem_m1: None,
+                promote: true,
+            },
+            TraceEvent::RsmEpoch {
+                at: 6,
+                program: 1,
+                period: 1,
+                raw_sf_a: 1.25,
+                sf_a: 1.1,
+                sf_b: 1.0,
+            },
+            TraceEvent::QueueSample {
+                at: 7,
+                channel: 1,
+                read_q: 2,
+                write_q: 0,
+                inflight: 4,
+            },
+        ];
+        for e in &events {
+            let s = e.to_json().to_string();
+            assert!(
+                s.starts_with(&format!("{{\"type\":\"{}\"", e.kind())),
+                "bad prefix: {s}"
+            );
+            let parsed = Json::parse(&s).expect("event line must parse");
+            assert_eq!(parsed.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn null_fields_for_absent_options() {
+        let e = TraceEvent::SwapBegin {
+            at: 0,
+            channel: 0,
+            group: 0,
+            slot: 0,
+            promoted: 0,
+            demoted: None,
+            done: 0,
+        };
+        assert!(e.to_json().to_string().contains("\"demoted\":null"));
+    }
+}

@@ -1,0 +1,236 @@
+//! A log2-bucketed histogram for latency / occupancy distributions.
+//!
+//! Values are `u64` (cycles, queue depths). Bucket 0 holds the value 0;
+//! bucket `i >= 1` holds values in `[2^(i-1), 2^i - 1]`. Percentile
+//! queries return the *upper bound* of the bucket containing the ranked
+//! sample, so for any recorded distribution the reported percentile `q`
+//! satisfies `model_q <= q <= 2 * model_q` (exact for 0) — a deliberate
+//! trade of precision for O(1) recording and a tiny fixed footprint,
+//! which is what lets the simulator keep histograms on the hot path.
+
+use profess_metrics::emit::Json;
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log2 histogram with exact count/sum and deterministic
+/// percentile summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for `v`: 0 for 0, else `floor(log2 v) + 1`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The largest value bucket `i` can hold.
+    pub fn bucket_upper(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64.. => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// The smallest value bucket `i` can hold.
+    pub fn bucket_lower(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Folds another histogram in (exact: bucket-wise addition).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The exact largest sample recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The exact mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// The upper bound of the bucket holding the `p`-quantile sample
+    /// (`p` in `[0, 1]`; rank `ceil(p * count)` clamped to at least 1).
+    /// Returns 0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_upper(i);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Log2Histogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// The summary object folded into reports and JSONL artifacts:
+    /// count, mean, p50/p95/p99, exact max, and the non-empty buckets as
+    /// `[bucket_index, count]` pairs.
+    pub fn summary_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Json::Arr(vec![Json::UInt(i as u64), Json::UInt(c)]))
+            .collect();
+        Json::obj([
+            ("count", Json::UInt(self.count)),
+            ("mean", Json::Num(self.mean())),
+            ("p50", Json::UInt(self.p50())),
+            ("p95", Json::UInt(self.p95())),
+            ("p99", Json::UInt(self.p99())),
+            ("max", Json::UInt(self.max)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            assert_eq!(
+                Log2Histogram::bucket_index(Log2Histogram::bucket_lower(i)),
+                i
+            );
+            assert_eq!(
+                Log2Histogram::bucket_index(Log2Histogram::bucket_upper(i)),
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut h = Log2Histogram::new();
+        // 100 samples of 1, 1 sample of 1000.
+        for _ in 0..100 {
+            h.record(1);
+        }
+        h.record(1000);
+        assert_eq!(h.count(), 101);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p95(), 1);
+        // rank ceil(0.99*101) = 100 -> still in bucket 1.
+        assert_eq!(h.p99(), 1);
+        assert_eq!(h.percentile(1.0), Log2Histogram::bucket_upper(10));
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn summary_json_is_parseable_and_sparse() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(7);
+        let s = h.summary_json().to_string();
+        let parsed = Json::parse(&s).expect("summary must parse");
+        assert_eq!(parsed.get("count"), Some(&Json::UInt(2)));
+        // Only buckets 0 and 3 are populated.
+        match parsed.get("buckets") {
+            Some(Json::Arr(b)) => assert_eq!(b.len(), 2),
+            other => panic!("bad buckets: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! A bounded FIFO event buffer.
+//!
+//! Tracing must never let a long run grow memory without bound, so each
+//! tracer buffers into a fixed-capacity ring: below capacity nothing is
+//! lost; at capacity the *oldest* events are overwritten and counted in
+//! [`EventRing::dropped`], which the drained artifact reports so a
+//! truncated trace is never mistaken for a complete one.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO that overwrites its oldest element when full.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRing<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl<T> EventRing<T> {
+    /// A ring holding at most `cap` elements (clamped to at least 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        EventRing {
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an element, evicting (and counting) the oldest when full.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    /// Elements currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many elements were evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all buffered elements, oldest first.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.buf.drain(..)
+    }
+
+    /// Consumes the ring into `(elements oldest-first, dropped count)`.
+    pub fn into_parts(self) -> (Vec<T>, u64) {
+        (self.buf.into_iter().collect(), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_capacity_keeps_everything_in_order() {
+        let mut r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.drain().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut r = EventRing::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.into_parts().0, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

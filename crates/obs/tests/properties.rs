@@ -1,0 +1,144 @@
+//! Property suites for the observability primitives: the log2 histogram
+//! against a sorted-vector model, and the bounded event ring against a
+//! plain FIFO model.
+
+use profess_check::strategy::{tuple2, u64_range, usize_range, vec_of};
+use profess_check::{check, prop_assert, prop_assert_eq};
+use profess_obs::{EventRing, Log2Histogram};
+
+fn hist_of(values: &[u64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact model percentile: the value at rank `ceil(p * n)` (1-based) of
+/// the sorted samples — the same rank definition the histogram uses.
+fn model_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn histogram_count_max_mean_match_model() {
+    check(
+        "histogram_count_max_mean_match_model",
+        vec_of(u64_range(0..(1 << 48)), 1..200),
+        |values| {
+            let h = hist_of(values);
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+            let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+            prop_assert!(
+                (h.mean() - mean).abs() <= mean.abs() * 1e-9 + 1e-9,
+                "mean {} vs model {}",
+                h.mean(),
+                mean
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn histogram_percentiles_bracket_sorted_vec_model() {
+    check(
+        "histogram_percentiles_bracket_sorted_vec_model",
+        vec_of(u64_range(0..(1 << 40)), 1..150),
+        |values| {
+            let h = hist_of(values);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for p in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+                let model = model_percentile(&sorted, p);
+                let got = h.percentile(p);
+                // The histogram reports the bucket's upper bound, so it
+                // can never under-report, and over-reports by < 2x.
+                prop_assert!(got >= model, "p{}: {} < model {}", p, got, model);
+                if model == 0 {
+                    prop_assert_eq!(got, 0);
+                } else {
+                    prop_assert!(got <= 2 * model, "p{}: {} > 2x model {}", p, got, model);
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn histogram_merge_is_associative_and_matches_whole() {
+    check(
+        "histogram_merge_is_associative_and_matches_whole",
+        tuple2(
+            vec_of(u64_range(0..(1 << 32)), 0..80),
+            tuple2(
+                vec_of(u64_range(0..(1 << 32)), 0..80),
+                vec_of(u64_range(0..(1 << 32)), 0..80),
+            ),
+        ),
+        |(a, (b, c))| {
+            let (ha, hb, hc) = (hist_of(a), hist_of(b), hist_of(c));
+
+            // (a + b) + c
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+            // a + (b + c)
+            let mut bc = hb.clone();
+            bc.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right);
+
+            // Merging partitions equals recording the concatenation.
+            let mut all: Vec<u64> = a.clone();
+            all.extend_from_slice(b);
+            all.extend_from_slice(c);
+            prop_assert_eq!(&left, &hist_of(&all));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ring_loses_nothing_below_capacity_and_drains_in_order() {
+    check(
+        "ring_loses_nothing_below_capacity_and_drains_in_order",
+        vec_of(u64_range(0..1000), 0..100),
+        |items| {
+            let mut r = EventRing::new(items.len().max(1));
+            for &x in items {
+                r.push(x);
+            }
+            prop_assert_eq!(r.dropped(), 0);
+            prop_assert_eq!(r.len(), items.len());
+            let drained: Vec<u64> = r.drain().collect();
+            prop_assert_eq!(&drained, items);
+            prop_assert!(r.is_empty());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ring_overflow_keeps_newest_suffix_and_counts_drops() {
+    check(
+        "ring_overflow_keeps_newest_suffix_and_counts_drops",
+        tuple2(vec_of(u64_range(0..1000), 0..120), usize_range(1..16)),
+        |(items, cap)| {
+            let mut r = EventRing::new(*cap);
+            for &x in items {
+                r.push(x);
+            }
+            let kept = items.len().min(*cap);
+            prop_assert_eq!(r.len(), kept);
+            prop_assert_eq!(r.dropped(), (items.len() - kept) as u64);
+            let (got, _) = r.into_parts();
+            prop_assert_eq!(&got[..], &items[items.len() - kept..]);
+            Ok(())
+        },
+    );
+}

@@ -28,4 +28,16 @@ PROFESS_RESULTS_DIR="$smoke_dir" \
     cargo run --release --offline -q -p profess-bench --bin fig05 -- 200 > /dev/null
 test -s "$smoke_dir/BENCH_fig05.json"
 
+# Traced smoke: the same figure with --trace must write a well-formed
+# TRACE_fig05.jsonl containing every event kind the tracer promises.
+# The budget must exceed the scaled RSM sampling period (m_samp = 8K):
+# shorter runs never close a period, so no rsm_epoch would be emitted.
+echo "==> traced bench smoke (fig05 --trace)"
+PROFESS_RESULTS_DIR="$smoke_dir" \
+    cargo run --release --offline -q -p profess-bench --bin fig05 -- --trace 10000 > /dev/null
+test -s "$smoke_dir/TRACE_fig05.jsonl"
+cargo run --release --offline -q -p profess-bench --bin tracecheck -- \
+    "$smoke_dir/TRACE_fig05.jsonl" \
+    run swap_begin swap_complete mdm_decision rsm_epoch queue_sample hist counters
+
 echo "ci: all tier-1 checks passed"

@@ -49,6 +49,7 @@ pub use profess_core as core;
 pub use profess_cpu as cpu;
 pub use profess_mem as mem;
 pub use profess_metrics as metrics;
+pub use profess_obs as obs;
 pub use profess_par as par;
 pub use profess_rng as rng;
 pub use profess_trace as trace;

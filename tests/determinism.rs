@@ -176,6 +176,51 @@ fn parallel_sweep_matches_serial_byte_for_byte() {
     );
 }
 
+/// The trace artifact must be as deterministic as the reports it rides
+/// with: a traced sweep collected through `Pool::new(1)` and
+/// `Pool::new(4)` must produce byte-identical JSONL. This pins the
+/// collector to pool-map *result* order (input order) — recording in
+/// completion order would pass the report test above while shuffling
+/// runs in the artifact.
+///
+/// `run_workload` builds systems with the environment's trace
+/// configuration, so this test sets `PROFESS_TRACE=1` for the whole
+/// process. That is safe alongside the untraced tests in this binary:
+/// tracing is observation-only (the fingerprint suite proves reports are
+/// byte-identical with it on or off), so their assertions are unaffected.
+#[test]
+fn traced_sweep_is_thread_count_invariant() {
+    std::env::set_var(profess::obs::TRACE_ENV, "1");
+    let run = |threads: usize| {
+        let mut cfg = SystemConfig::scaled_quad();
+        cfg.seed = 11;
+        cfg.rsm.m_samp = 512;
+        let ws = workloads();
+        let subset = [ws[0], ws[7]];
+        let mut traces = profess_bench::harness::TraceCollector::forced("det");
+        profess_bench::normalized_sweep_traced(
+            &profess_bench::Pool::new(threads),
+            &cfg,
+            PolicyKind::Profess,
+            2_000,
+            &subset,
+            &mut traces,
+        );
+        assert_eq!(traces.runs(), 4, "2 workloads x (PoM + ProFess)");
+        traces.jsonl().to_string()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert!(
+        serial.contains("\"type\":\"run\"") && serial.contains("\"type\":\"rsm_epoch\""),
+        "traced sweep produced no substantive trace"
+    );
+    assert_eq!(
+        serial, parallel,
+        "4-thread traced sweep diverged from the serial traced sweep"
+    );
+}
+
 /// Two *distinct* multiprogram workloads must not serialize identically
 /// (guards against the report accidentally ignoring the programs).
 #[test]
