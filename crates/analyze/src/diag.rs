@@ -1,0 +1,134 @@
+//! Diagnostics and their stable machine-readable rendering.
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Lint name (the key used in `profess: allow(...)`).
+    pub lint: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// True when an inline suppression covers this finding.
+    pub suppressed: bool,
+}
+
+impl Diagnostic {
+    /// Builds an (unsuppressed) diagnostic.
+    pub fn new(lint: &'static str, path: &str, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            lint,
+            path: path.to_string(),
+            line,
+            message: message.into(),
+            suppressed: false,
+        }
+    }
+
+    /// The human-readable one-liner.
+    pub fn render(&self) -> String {
+        let sup = if self.suppressed { " (allowed)" } else { "" };
+        format!(
+            "{}:{}: [{}]{} {}",
+            self.path, self.line, self.lint, sup, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the canonical emission order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.lint, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.lint,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Renders the `ANALYZE.json` report: a stable, insertion-ordered JSON
+/// document (hand-rolled — this crate depends on nothing, including the
+/// workspace's own JSON emitter, so it can audit it).
+pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let active = diags.iter().filter(|d| !d.suppressed).count();
+    let suppressed = diags.len() - active;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"tool\":\"profess-analyze\",\"version\":1,\"files_scanned\":{files_scanned},\
+         \"active\":{active},\"suppressed\":{suppressed},\"diagnostics\":["
+    );
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"lint\":{},\"path\":{},\"line\":{},\"suppressed\":{},\"message\":{}}}",
+            json_str(d.lint),
+            json_str(&d.path),
+            d.line,
+            d.suppressed,
+            json_str(&d.message),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_is_stable_by_path_line_lint() {
+        let mut ds = vec![
+            Diagnostic::new("b", "z.rs", 1, "m"),
+            Diagnostic::new("a", "a.rs", 9, "m"),
+            Diagnostic::new("a", "a.rs", 2, "m"),
+        ];
+        sort(&mut ds);
+        assert_eq!(
+            ds.iter()
+                .map(|d| (d.path.as_str(), d.line))
+                .collect::<Vec<_>>(),
+            vec![("a.rs", 2), ("a.rs", 9), ("z.rs", 1)]
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut d = Diagnostic::new("panic", "a.rs", 3, "uses \"unwrap\"\n");
+        d.suppressed = true;
+        let j = to_json(&[d, Diagnostic::new("panic", "b.rs", 1, "x")], 7);
+        assert!(j.contains("\"files_scanned\":7"));
+        assert!(j.contains("\"active\":1"));
+        assert!(j.contains("\"suppressed\":1"));
+        assert!(j.contains("uses \\\"unwrap\\\"\\n"));
+    }
+}

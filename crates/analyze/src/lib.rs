@@ -1,0 +1,78 @@
+//! `profess-analyze`: the workspace's in-tree static analysis pass.
+//!
+//! The repo's headline guarantee — byte-identical reports across
+//! policies, thread counts, and tracing modes (the 18 pinned
+//! fingerprints in `tests/fingerprints.rs`) — rests on conventions no
+//! compiler checks: no unordered-map iteration in simulator state, no
+//! wall-clock reads in simulated behaviour, no external crates, no
+//! library panics on user-reachable paths, and event-kind strings that
+//! match the typed `TraceEvent` enum. This crate turns those
+//! conventions into machine-checked lints, run as a CI gate
+//! (`cargo run -p profess-analyze`, wired into `scripts/ci.sh`).
+//!
+//! Architecture (see DESIGN.md §9):
+//!
+//! * [`scan`] — a comment/string-aware Rust token scanner, so lints see
+//!   identifiers rather than bytes and `// profess: allow(<lint>)`
+//!   suppressions rather than magic strings;
+//! * [`workspace`] — the file walker and role classifier (library vs.
+//!   bin vs. test vs. script vs. manifest) that scopes each lint;
+//! * [`lints`] — the suite itself plus the suppression plumbing;
+//! * [`diag`] — stable diagnostics and the `ANALYZE.json` rendering.
+//!
+//! The crate depends on nothing — not even the workspace's own crates —
+//! so it can audit all of them without sitting downstream of any.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod diag;
+pub mod lints;
+pub mod scan;
+pub mod workspace;
+
+pub use diag::Diagnostic;
+pub use workspace::{Role, SourceFile, Workspace};
+
+use std::path::Path;
+
+/// The result of one analyzer run.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Every diagnostic, suppressed ones included, in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// Diagnostics not covered by an inline suppression.
+    pub fn active(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| !d.suppressed)
+    }
+
+    /// True when the tree is clean (no unsuppressed diagnostics).
+    pub fn is_clean(&self) -> bool {
+        self.active().next().is_none()
+    }
+
+    /// The `ANALYZE.json` document.
+    pub fn to_json(&self) -> String {
+        diag::to_json(&self.diagnostics, self.files_scanned)
+    }
+}
+
+/// Loads the workspace at `root` and runs the full lint suite.
+pub fn analyze_root(root: &Path) -> std::io::Result<Analysis> {
+    let ws = Workspace::load(root)?;
+    Ok(analyze(&ws))
+}
+
+/// Runs the full lint suite over an already-loaded workspace.
+pub fn analyze(ws: &Workspace) -> Analysis {
+    Analysis {
+        diagnostics: lints::run_all(ws),
+        files_scanned: ws.files.len(),
+    }
+}

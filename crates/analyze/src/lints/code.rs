@@ -1,0 +1,241 @@
+//! Token-level code lints: determinism, panic policy, unsafe policy.
+
+use super::in_regions;
+use crate::diag::Diagnostic;
+use crate::scan::{Scan, Tok};
+use crate::workspace::{Role, SourceFile};
+
+/// No `HashMap`/`HashSet` in simulator-state crates.
+pub const HASH_COLLECTIONS: &str = "hash_collections";
+/// No `Instant`/`SystemTime` outside the bench crate.
+pub const WALL_CLOCK: &str = "wall_clock";
+/// No thread spawning outside `profess-par`.
+pub const THREAD_SPAWN: &str = "thread_spawn";
+/// No `unwrap`/`expect`/`panic!` in library code.
+pub const PANIC: &str = "panic";
+/// No `unsafe`, and every lib.rs must `#![forbid(unsafe_code)]`.
+pub const UNSAFE_CODE: &str = "unsafe_code";
+
+/// Crates whose library code holds simulator state that must iterate
+/// deterministically (the report fingerprints replay their decisions).
+const SIM_STATE_CRATES: &[&str] = &["core", "mem", "cpu", "cache"];
+
+/// The wall clock is only legitimate where wall time is the measurement.
+const WALL_CLOCK_CRATES: &[&str] = &["bench"];
+
+/// Threads are spawned only by the deterministic pool.
+const THREAD_CRATES: &[&str] = &["par"];
+
+/// Crates exempt from the panic policy: `check` is the property-test
+/// harness — panicking on a failed assertion is its entire product.
+const PANIC_EXEMPT_CRATES: &[&str] = &["check"];
+
+/// Runs all code lints over one scanned Rust file.
+pub fn check(f: &SourceFile, s: &Scan, tests: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    let crate_name = f.role.crate_name().unwrap_or("");
+    let is_lib = matches!(f.role, Role::Lib(_));
+    let is_code = matches!(f.role, Role::Lib(_) | Role::Bin(_));
+
+    for (i, t) in s.tokens.iter().enumerate() {
+        let Tok::Ident(id) = &t.tok else { continue };
+        let in_test = in_regions(tests, t.line);
+        match id.as_str() {
+            "HashMap" | "HashSet"
+                if is_code && SIM_STATE_CRATES.contains(&crate_name) && !in_test =>
+            {
+                out.push(Diagnostic::new(
+                    HASH_COLLECTIONS,
+                    &f.rel_path,
+                    t.line,
+                    format!(
+                        "`{id}` in simulator state: iteration order is unspecified and breaks \
+                         replayability — use `BTreeMap`/`BTreeSet` or a flat structure \
+                         (see crates/core/src/flat.rs)"
+                    ),
+                ));
+            }
+            "Instant" | "SystemTime"
+                if is_code && !WALL_CLOCK_CRATES.contains(&crate_name) && !in_test =>
+            {
+                out.push(Diagnostic::new(
+                    WALL_CLOCK,
+                    &f.rel_path,
+                    t.line,
+                    format!(
+                        "`{id}` outside the bench crate: simulated behaviour must depend only \
+                         on the simulated clock (`Cycle`), never wall time"
+                    ),
+                ));
+            }
+            "spawn" if is_code && !THREAD_CRATES.contains(&crate_name) && !in_test => {
+                out.push(Diagnostic::new(
+                    THREAD_SPAWN,
+                    &f.rel_path,
+                    t.line,
+                    "thread spawning outside profess-par: use `Pool::map`, which collects \
+                     results in input order regardless of scheduling",
+                ));
+            }
+            "unwrap" | "expect"
+                if is_lib
+                    && !PANIC_EXEMPT_CRATES.contains(&crate_name)
+                    && !in_test
+                    && is_method_call(s, i) =>
+            {
+                out.push(Diagnostic::new(
+                    PANIC,
+                    &f.rel_path,
+                    t.line,
+                    format!(
+                        "`.{id}()` in library code: return a `Result`/`Option` or handle the \
+                         case; for a true invariant, suppress with \
+                         `// profess: allow(panic): <why it cannot fail>`"
+                    ),
+                ));
+            }
+            "panic"
+                if is_lib
+                    && !PANIC_EXEMPT_CRATES.contains(&crate_name)
+                    && !in_test
+                    && next_is(s, i, '!') =>
+            {
+                out.push(Diagnostic::new(
+                    PANIC,
+                    &f.rel_path,
+                    t.line,
+                    "`panic!` in library code: return an error, or suppress with \
+                     `// profess: allow(panic): <why>` if this guards corruption",
+                ));
+            }
+            "unsafe" => {
+                out.push(Diagnostic::new(
+                    UNSAFE_CODE,
+                    &f.rel_path,
+                    t.line,
+                    "`unsafe` is forbidden workspace-wide (every crate is \
+                     `#![forbid(unsafe_code)]`); find a safe formulation",
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // Crate roots must carry the forbid attribute so the compiler, not
+    // just this analyzer, rejects unsafe code.
+    if is_lib && (f.rel_path == "src/lib.rs" || f.rel_path.ends_with("/src/lib.rs")) {
+        let has_forbid = s.tokens.windows(4).any(|w| {
+            w[0].tok == Tok::Ident("forbid".to_string())
+                && w[1].tok == Tok::Punct('(')
+                && w[2].tok == Tok::Ident("unsafe_code".to_string())
+                && w[3].tok == Tok::Punct(')')
+        });
+        if !has_forbid {
+            out.push(Diagnostic::new(
+                UNSAFE_CODE,
+                &f.rel_path,
+                1,
+                "crate root is missing `#![forbid(unsafe_code)]`",
+            ));
+        }
+    }
+}
+
+/// `tokens[i]` is a method call receiver position: preceded by `.` and
+/// followed by `(`. Filters out free functions and method *definitions*
+/// that merely share the name.
+fn is_method_call(s: &Scan, i: usize) -> bool {
+    i > 0
+        && s.tokens[i - 1].tok == Tok::Punct('.')
+        && s.tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+}
+
+fn next_is(s: &Scan, i: usize, p: char) -> bool {
+    s.tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lints::check_source;
+
+    #[test]
+    fn hash_collections_scoped_to_sim_crates() {
+        let bad = "use std::collections::HashMap;\nstruct S { m: HashMap<u64, u64> }\n";
+        let d = check_source("crates/core/src/x.rs", bad);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.lint == "hash_collections"));
+        // Outside the sim-state crates, no finding.
+        assert!(check_source("crates/metrics/src/x.rs", bad).is_empty());
+        // In a test module, no finding.
+        let test_ok = "#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n}\n";
+        assert!(check_source("crates/core/src/x.rs", test_ok).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_only_in_bench() {
+        let bad = "use std::time::Instant;\n";
+        assert_eq!(check_source("crates/core/src/x.rs", bad).len(), 1);
+        assert!(check_source("crates/bench/src/bin/fig05.rs", bad).is_empty());
+        assert!(check_source("crates/bench/src/harness.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn spawn_only_in_par() {
+        let bad = "fn f() { std::thread::spawn(|| ()); }\n";
+        assert_eq!(check_source("crates/obs/src/x.rs", bad).len(), 1);
+        assert!(check_source("crates/par/src/lib.rs", bad)
+            .iter()
+            .all(|d| d.lint != "thread_spawn"));
+    }
+
+    #[test]
+    fn panic_policy_in_lib_only() {
+        let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g() { panic!(\"no\"); }\n";
+        let d = check_source("crates/mem/src/x.rs", bad);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|d| d.lint == "panic"));
+        // Bins, tests, examples, and the check harness are exempt.
+        assert!(check_source("crates/bench/src/bin/fig05.rs", bad).is_empty());
+        assert!(check_source("tests/x.rs", bad).is_empty());
+        assert!(check_source("examples/x.rs", bad).is_empty());
+        assert!(check_source("crates/check/src/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn panic_policy_ignores_lookalikes() {
+        let ok = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n\
+                  fn expect(s: &str) {}\n\
+                  fn g() { let s = \"don't unwrap() or panic!\"; } // .unwrap()\n";
+        assert!(check_source("crates/mem/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let same = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // profess: allow(panic): invariant\n";
+        assert!(check_source("crates/mem/src/x.rs", same)
+            .iter()
+            .all(|d| d.suppressed));
+        let above =
+            "// profess: allow(panic): invariant\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert!(check_source("crates/mem/src/x.rs", above)
+            .iter()
+            .all(|d| d.suppressed));
+    }
+
+    #[test]
+    fn unsafe_flagged_everywhere_and_forbid_required() {
+        let bad = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        assert_eq!(
+            check_source("tests/x.rs", bad)
+                .iter()
+                .filter(|d| d.lint == "unsafe_code")
+                .count(),
+            1
+        );
+        let no_forbid = "pub fn f() {}\n";
+        let d = check_source("crates/mem/src/lib.rs", no_forbid);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("forbid(unsafe_code)"));
+        let with_forbid = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        assert!(check_source("crates/mem/src/lib.rs", with_forbid).is_empty());
+    }
+}

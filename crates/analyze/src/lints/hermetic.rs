@@ -1,0 +1,217 @@
+//! Hermeticity lints: the workspace must build with the crate registry
+//! unreachable, forever.
+//!
+//! * [`HERMETIC_DEPS`] — every dependency in every `Cargo.toml` must be
+//!   a `path` dependency or inherit one via `workspace = true`;
+//! * [`HERMETIC_LOCK`] — `Cargo.lock` must contain only workspace
+//!   members (no `source`/`checksum` entries, no foreign names).
+//!
+//! These lints are not suppressible: an "allowed" external crate would
+//! defeat the policy they enforce.
+
+use crate::diag::Diagnostic;
+use crate::workspace::{Role, Workspace};
+
+/// Lint name: non-path dependency in a manifest.
+pub const HERMETIC_DEPS: &str = "hermetic_deps";
+/// Lint name: non-workspace package in the lockfile.
+pub const HERMETIC_LOCK: &str = "hermetic_lock";
+
+/// Runs both hermeticity lints over the workspace.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    for f in &ws.files {
+        match f.role {
+            Role::Manifest => check_manifest(&f.rel_path, &f.text, out),
+            Role::Lockfile => check_lockfile(&f.rel_path, &f.text, out),
+            _ => {}
+        }
+    }
+}
+
+/// Sections whose entries are dependency specifications.
+fn is_dep_section(name: &str) -> bool {
+    matches!(
+        name,
+        "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
+    ) || name.ends_with(".dependencies")
+        || name.ends_with(".dev-dependencies")
+        || name.ends_with(".build-dependencies")
+}
+
+fn check_manifest(path: &str, text: &str, out: &mut Vec<Diagnostic>) {
+    let mut section = String::new();
+    // A `[dependencies.<name>]` subsection accumulates until its end.
+    let mut sub: Option<(String, u32, bool)> = None; // (dep name, header line, has path/workspace)
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i as u32 + 1;
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some((name, at, ok)) = sub.take() {
+                if !ok {
+                    push_dep(out, path, at, &name);
+                }
+            }
+            section = line.trim_matches(['[', ']']).to_string();
+            // `[dependencies.foo]`-style subsection?
+            if let Some((head, dep)) = section.rsplit_once('.') {
+                if is_dep_section(head) {
+                    sub = Some((dep.to_string(), lineno, false));
+                }
+            }
+            continue;
+        }
+        if let Some((_, _, ok)) = &mut sub {
+            if line.starts_with("path") || line.replace(' ', "").starts_with("workspace=true") {
+                *ok = true;
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let inherited = key.ends_with(".workspace") && value == "true";
+        let has_path =
+            value.contains("path ") || value.contains("path=") || value.contains("path =");
+        let has_ws = value.replace(' ', "").contains("workspace=true");
+        if !(inherited || has_path || has_ws) {
+            push_dep(out, path, lineno, key.trim_end_matches(".workspace"));
+        }
+    }
+    if let Some((name, at, ok)) = sub {
+        if !ok {
+            push_dep(out, path, at, &name);
+        }
+    }
+}
+
+fn push_dep(out: &mut Vec<Diagnostic>, path: &str, line: u32, dep: &str) {
+    out.push(Diagnostic::new(
+        HERMETIC_DEPS,
+        path,
+        line,
+        format!(
+            "dependency `{dep}` is not a path/workspace dependency: external crates break \
+             the hermetic offline build (vendor the code in-tree instead)"
+        ),
+    ));
+}
+
+fn check_lockfile(path: &str, text: &str, out: &mut Vec<Diagnostic>) {
+    let mut pkg_name = String::new();
+    let mut pkg_line = 0u32;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i as u32 + 1;
+        if line == "[[package]]" {
+            pkg_name.clear();
+            pkg_line = lineno;
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim().trim_matches('"'));
+        match key {
+            "name" => {
+                pkg_name = value.to_string();
+                if !(pkg_name == "profess" || pkg_name.starts_with("profess-")) {
+                    out.push(Diagnostic::new(
+                        HERMETIC_LOCK,
+                        path,
+                        pkg_line.max(lineno),
+                        format!(
+                            "lockfile package `{pkg_name}` is not a workspace member: the \
+                             lockfile must stay registry-free"
+                        ),
+                    ));
+                }
+            }
+            "source" | "checksum" => {
+                out.push(Diagnostic::new(
+                    HERMETIC_LOCK,
+                    path,
+                    lineno,
+                    format!(
+                        "lockfile package `{pkg_name}` has a `{key}` entry, meaning it \
+                         resolves outside the workspace (registry or git)"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn manifest_diags(text: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        check_manifest("crates/x/Cargo.toml", text, &mut out);
+        out
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let ok = "[package]\nname = \"x\"\n\n[dependencies]\n\
+                  profess-types = { path = \"../types\" }\n\
+                  profess-rng.workspace = true\n\
+                  profess-mem = { workspace = true }\n";
+        assert!(manifest_diags(ok).is_empty());
+    }
+
+    #[test]
+    fn registry_deps_flagged() {
+        let bad = "[dependencies]\nserde = \"1.0\"\nrand = { version = \"0.8\" }\n";
+        let d = manifest_diags(bad);
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("serde"));
+        assert!(d.iter().all(|d| d.lint == HERMETIC_DEPS));
+    }
+
+    #[test]
+    fn dev_and_subsection_deps_covered() {
+        let bad =
+            "[dev-dependencies]\nproptest = \"1\"\n\n[dependencies.criterion]\nversion = \"0.5\"\n";
+        let d = manifest_diags(bad);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|d| d.message.contains("criterion")));
+        let ok = "[dependencies.profess-types]\npath = \"../types\"\n";
+        assert!(manifest_diags(ok).is_empty());
+    }
+
+    #[test]
+    fn lockfile_sources_and_foreign_names_flagged() {
+        let bad = "version = 4\n\n[[package]]\nname = \"profess-core\"\nversion = \"0.1.0\"\n\n\
+                   [[package]]\nname = \"serde\"\nversion = \"1.0.0\"\n\
+                   source = \"registry+https://github.com/rust-lang/crates.io-index\"\n\
+                   checksum = \"abc\"\n";
+        let mut out = Vec::new();
+        check_lockfile("Cargo.lock", bad, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().all(|d| d.lint == HERMETIC_LOCK));
+    }
+
+    #[test]
+    fn runs_via_workspace_roles() {
+        let ws = Workspace {
+            files: vec![SourceFile::new(
+                "crates/x/Cargo.toml",
+                "[dependencies]\nlibc = \"0.2\"\n",
+            )],
+        };
+        let mut out = Vec::new();
+        check(&ws, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! The lint suite.
+//!
+//! Lints fall into three groups:
+//!
+//! * **code lints** ([`code`]) — token-level checks on Rust sources,
+//!   scoped by [`Role`] and exempting `#[cfg(test)]` modules; these
+//!   honor `// profess: allow(<lint>)` inline suppressions (same line
+//!   or the line above);
+//! * **hermeticity lints** ([`hermetic`]) — manifest/lockfile checks;
+//!   deliberately *not* suppressible (an allowed external dependency is
+//!   a contradiction in terms here);
+//! * **cross-file schema lints** ([`trace_schema`]) — consistency
+//!   between the typed `TraceEvent` enum and the places that name its
+//!   kinds as strings; not suppressible either.
+//!
+//! Adding a lint: write a `check` that pushes [`Diagnostic`]s, call it
+//! from [`run_all`], give it a unique name, document it in DESIGN.md §9,
+//! and add a positive + suppressed-negative fixture pair to
+//! `crates/analyze/tests/lints.rs`.
+
+pub mod code;
+pub mod hermetic;
+pub mod trace_schema;
+
+use crate::diag::{self, Diagnostic};
+use crate::scan::{scan, Scan, Spanned, Tok};
+use crate::workspace::Workspace;
+
+/// Every lint name, for documentation and `--list`.
+pub const ALL_LINTS: &[&str] = &[
+    code::HASH_COLLECTIONS,
+    code::WALL_CLOCK,
+    code::THREAD_SPAWN,
+    code::PANIC,
+    code::UNSAFE_CODE,
+    hermetic::HERMETIC_DEPS,
+    hermetic::HERMETIC_LOCK,
+    trace_schema::TRACE_SCHEMA,
+];
+
+/// Runs the whole suite over a workspace. Returns all diagnostics —
+/// including suppressed ones, flagged as such — in canonical order.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in &ws.files {
+        if f.rel_path.ends_with(".rs") {
+            let s = scan(&f.text);
+            let tests = test_regions(&s.tokens);
+            let mut file_diags = Vec::new();
+            code::check(f, &s, &tests, &mut file_diags);
+            for mut d in file_diags {
+                d.suppressed = s.is_suppressed(d.lint, d.line);
+                diags.push(d);
+            }
+        }
+    }
+    hermetic::check(ws, &mut diags);
+    trace_schema::check(ws, &mut diags);
+    diag::sort(&mut diags);
+    diags
+}
+
+/// Line ranges (inclusive) covered by `#[cfg(test)] mod ... { ... }`
+/// blocks. Code lints treat these like test files.
+pub fn test_regions(tokens: &[Spanned]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !matches_cfg_test(tokens, i) {
+            i += 1;
+            continue;
+        }
+        // Skip past the attribute, any further attributes, up to `mod`.
+        let mut j = i + 7;
+        while j < tokens.len() && tokens[j].tok != Tok::Ident("mod".to_string()) {
+            // Another attribute (e.g. #[allow(...)]) may sit between.
+            if tokens[j].tok == Tok::Punct('#') {
+                j += 1;
+                continue;
+            }
+            if matches!(tokens[j].tok, Tok::Punct('[') | Tok::Punct(']'))
+                || matches!(
+                    tokens[j].tok,
+                    Tok::Ident(_) | Tok::Punct('(') | Tok::Punct(')')
+                )
+            {
+                j += 1;
+                continue;
+            }
+            break;
+        }
+        if j >= tokens.len() || tokens[j].tok != Tok::Ident("mod".to_string()) {
+            i += 1;
+            continue;
+        }
+        // mod <name> { ... } — find the opening brace, then balance.
+        let start_line = tokens[i].line;
+        let mut k = j + 1;
+        while k < tokens.len() && tokens[k].tok != Tok::Punct('{') {
+            k += 1;
+        }
+        let mut depth = 0i64;
+        let mut end_line = start_line;
+        while k < tokens.len() {
+            match tokens[k].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = tokens[k].line;
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push((start_line, end_line.max(start_line)));
+        i = k.max(i + 1);
+    }
+    regions
+}
+
+/// Does `tokens[i..]` start with `# [ cfg ( test ) ]`?
+fn matches_cfg_test(tokens: &[Spanned], i: usize) -> bool {
+    let want: [&dyn Fn(&Tok) -> bool; 7] = [
+        &|t| *t == Tok::Punct('#'),
+        &|t| *t == Tok::Punct('['),
+        &|t| *t == Tok::Ident("cfg".to_string()),
+        &|t| *t == Tok::Punct('('),
+        &|t| *t == Tok::Ident("test".to_string()),
+        &|t| *t == Tok::Punct(')'),
+        &|t| *t == Tok::Punct(']'),
+    ];
+    tokens.len() >= i + want.len() && want.iter().enumerate().all(|(k, f)| f(&tokens[i + k].tok))
+}
+
+/// True when `line` falls inside any of `regions`.
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Convenience used by lints and tests: scan + classify one in-memory
+/// file and run only the code lints on it.
+pub fn check_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let f = crate::workspace::SourceFile::new(rel_path, text);
+    let s: Scan = scan(&f.text);
+    let tests = test_regions(&s.tokens);
+    let mut diags = Vec::new();
+    code::check(&f, &s, &tests, &mut diags);
+    for d in &mut diags {
+        d.suppressed = s.is_suppressed(d.lint, d.line);
+    }
+    diag::sort(&mut diags);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let s = scan(src);
+        let r = test_regions(&s.tokens);
+        assert_eq!(r.len(), 1);
+        assert!(in_regions(&r, 4));
+        assert!(!in_regions(&r, 1));
+        assert!(!in_regions(&r, 6));
+    }
+
+    #[test]
+    fn cfg_test_with_interleaved_attribute() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n fn b() {}\n}\n";
+        let s = scan(src);
+        assert_eq!(test_regions(&s.tokens).len(), 1);
+    }
+
+    #[test]
+    fn lint_names_unique() {
+        let mut names = ALL_LINTS.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_LINTS.len());
+    }
+}

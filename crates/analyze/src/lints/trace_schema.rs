@@ -1,0 +1,342 @@
+//! Trace-schema sync lint: the event-kind *strings* scattered outside
+//! the typed enum must match the `TraceEvent` variants.
+//!
+//! Three checks:
+//!
+//! 1. In `crates/obs/src/event.rs`, every `TraceEvent::Variant { .. } =>
+//!    "kind"` arm must map to the variant's snake_case (the compiler
+//!    checks exhaustiveness but not the spelling of the string).
+//! 2. The `tracecheck` invocation in `scripts/ci.sh` must only require
+//!    kinds the tracer can emit (enum kinds plus the artifact-level
+//!    `run`/`hist`/`counters` lines).
+//! 3. The usage example in `crates/bench/src/bin/tracecheck.rs` must
+//!    name real kinds.
+//!
+//! Not suppressible: a mismatched kind string silently turns the CI
+//! trace gate into a tautology.
+
+use crate::diag::Diagnostic;
+use crate::scan::{scan, Tok};
+use crate::workspace::Workspace;
+
+/// Lint name.
+pub const TRACE_SCHEMA: &str = "trace_schema";
+
+/// Where the typed enum lives.
+pub const EVENT_RS: &str = "crates/obs/src/event.rs";
+/// The CI script naming required kinds.
+pub const CI_SH: &str = "scripts/ci.sh";
+/// The validator whose docs name kinds.
+pub const TRACECHECK_RS: &str = "crates/bench/src/bin/tracecheck.rs";
+
+/// JSONL line types produced by the artifact layer (`TraceLog::to_jsonl`
+/// emits `hist` and `counters`; `TraceCollector::record` emits `run`),
+/// legitimate in required-kind lists alongside the enum kinds.
+const ARTIFACT_KINDS: &[&str] = &["run", "hist", "counters"];
+
+/// Runs the lint. Skips silently when `event.rs` is absent (fixture
+/// workspaces); a real workspace always has it — the self-check test
+/// pins that.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(event) = ws.get(EVENT_RS) else {
+        return;
+    };
+    let kinds = event_kinds(&event.text, out);
+    if kinds.is_empty() {
+        out.push(Diagnostic::new(
+            TRACE_SCHEMA,
+            EVENT_RS,
+            1,
+            "no `TraceEvent::Variant { .. } => \"kind\"` arms found: the analyzer can no \
+             longer verify trace-schema sync (was `kind()` restructured?)",
+        ));
+        return;
+    }
+    if let Some(ci) = ws.get(CI_SH) {
+        check_kind_words(&ci.rel_path, &tracecheck_args_sh(&ci.text), &kinds, out);
+    }
+    if let Some(tc) = ws.get(TRACECHECK_RS) {
+        check_kind_words(&tc.rel_path, &tracecheck_args_docs(&tc.text), &kinds, out);
+    }
+}
+
+/// Extracts `(variant, kind, line)` triples from `kind()`-style match
+/// arms and reports arms whose string is not the variant's snake_case.
+/// Returns the kind set.
+fn event_kinds(text: &str, out: &mut Vec<Diagnostic>) -> Vec<String> {
+    let s = scan(text);
+    let t = &s.tokens;
+    let mut kinds = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < t.len() {
+        let is_path = t[i].tok == Tok::Ident("TraceEvent".to_string())
+            && t[i + 1].tok == Tok::Punct(':')
+            && t[i + 2].tok == Tok::Punct(':');
+        if !is_path {
+            i += 1;
+            continue;
+        }
+        let Tok::Ident(variant) = t[i + 3].tok.clone() else {
+            i += 1;
+            continue;
+        };
+        // Optionally skip a balanced `{ ... }` field pattern.
+        let mut j = i + 4;
+        if t.get(j).map(|x| &x.tok) == Some(&Tok::Punct('{')) {
+            let mut depth = 0i64;
+            while j < t.len() {
+                match t[j].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // `=> "kind"` directly after the pattern marks a kind() arm.
+        if t.get(j).map(|x| &x.tok) == Some(&Tok::Punct('='))
+            && t.get(j + 1).map(|x| &x.tok) == Some(&Tok::Punct('>'))
+        {
+            if let Some(Tok::Str(kind)) = t.get(j + 2).map(|x| &x.tok) {
+                let want = snake_case(&variant);
+                if *kind != want {
+                    out.push(Diagnostic::new(
+                        TRACE_SCHEMA,
+                        EVENT_RS,
+                        t[j + 2].line,
+                        format!(
+                            "kind string \"{kind}\" does not match variant `{variant}` \
+                             (expected \"{want}\")"
+                        ),
+                    ));
+                }
+                if !kinds.contains(kind) {
+                    kinds.push(kind.clone());
+                }
+            }
+        }
+        i = j.max(i + 1);
+    }
+    kinds
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Words appearing after `tracecheck` in a shell invocation, with line
+/// numbers; backslash continuations are followed. Paths, variables, and
+/// flags are filtered out — what remains should be event kinds.
+fn tracecheck_args_sh(text: &str) -> Vec<(String, u32)> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut words = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let trimmed = lines[i].trim();
+        if trimmed.starts_with('#') || !trimmed.contains("tracecheck") {
+            i += 1;
+            continue;
+        }
+        // Join the full command across `\` continuations.
+        let mut cmd = String::new();
+        let mut spans = Vec::new(); // (offset in cmd, line number)
+        let mut j = i;
+        loop {
+            let l = lines[j].trim_end();
+            let (body, cont) = match l.strip_suffix('\\') {
+                Some(b) => (b, true),
+                None => (l, false),
+            };
+            spans.push((cmd.len(), j as u32 + 1));
+            cmd.push_str(body);
+            cmd.push(' ');
+            j += 1;
+            if !cont || j >= lines.len() {
+                break;
+            }
+        }
+        if let Some(pos) = cmd.find("tracecheck") {
+            let mut off = pos + "tracecheck".len();
+            for word in cmd[off..].split_whitespace() {
+                // Recover the word's offset for line attribution.
+                if let Some(p) = cmd[off..].find(word) {
+                    off += p;
+                }
+                let line = spans
+                    .iter()
+                    .rev()
+                    .find(|&&(o, _)| o <= off)
+                    .map_or(i as u32 + 1, |&(_, l)| l);
+                off += word.len();
+                if is_kind_word(word) {
+                    words.push((word.to_string(), line));
+                }
+            }
+        }
+        i = j;
+    }
+    words
+}
+
+/// Words after `tracecheck` in `//!`/`///` doc-comment examples.
+fn tracecheck_args_docs(text: &str) -> Vec<(String, u32)> {
+    let mut words = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let Some(doc) = line
+            .strip_prefix("//!")
+            .or_else(|| line.strip_prefix("///"))
+        else {
+            continue;
+        };
+        let Some(pos) = doc.find("tracecheck ") else {
+            continue;
+        };
+        for word in doc[pos + "tracecheck ".len()..].split_whitespace() {
+            if is_kind_word(word) {
+                words.push((word.to_string(), i as u32 + 1));
+            }
+        }
+    }
+    words
+}
+
+/// A bare lowercase word — not a path, variable, flag, or quoted string.
+fn is_kind_word(w: &str) -> bool {
+    !w.is_empty()
+        && w.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn check_kind_words(
+    path: &str,
+    words: &[(String, u32)],
+    kinds: &[String],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (w, line) in words {
+        if !kinds.iter().any(|k| k == w) && !ARTIFACT_KINDS.contains(&w.as_str()) {
+            out.push(Diagnostic::new(
+                TRACE_SCHEMA,
+                path,
+                *line,
+                format!(
+                    "required event kind `{w}` does not exist in {EVENT_RS} \
+                     (known kinds: {}, plus artifact lines {})",
+                    kinds.join("/"),
+                    ARTIFACT_KINDS.join("/")
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    const FAKE_EVENT: &str = r#"
+        pub enum TraceEvent { SwapBegin { at: u64 }, RsmEpoch { at: u64 } }
+        impl TraceEvent {
+            pub fn kind(&self) -> &'static str {
+                match self {
+                    TraceEvent::SwapBegin { .. } => "swap_begin",
+                    TraceEvent::RsmEpoch { .. } => "rsm_epoch",
+                }
+            }
+        }
+    "#;
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            files: files.iter().map(|(p, t)| SourceFile::new(p, t)).collect(),
+        }
+    }
+
+    #[test]
+    fn extracts_kinds_and_accepts_consistent_ci() {
+        let w = ws(vec![
+            (EVENT_RS, FAKE_EVENT),
+            (
+                CI_SH,
+                "cargo run -p profess-bench --bin tracecheck -- \\\n  \"$dir/T.jsonl\" \\\n  run swap_begin rsm_epoch counters\n",
+            ),
+        ]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn mismatched_kind_string_flagged() {
+        let bad = FAKE_EVENT.replace("\"swap_begin\"", "\"swap_started\"");
+        let w = ws(vec![(EVENT_RS, &bad)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("swap_started"));
+        assert!(out[0].message.contains("expected \"swap_begin\""));
+    }
+
+    #[test]
+    fn unknown_required_kind_in_ci_flagged() {
+        let w = ws(vec![
+            (EVENT_RS, FAKE_EVENT),
+            (CI_SH, "tracecheck \"$f\" swap_begin mdm_decision\n"),
+        ]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("mdm_decision"));
+    }
+
+    #[test]
+    fn doc_example_kinds_checked() {
+        let w = ws(vec![
+            (EVENT_RS, FAKE_EVENT),
+            (
+                TRACECHECK_RS,
+                "//! ```text\n//! tracecheck results/T.jsonl swap_begin no_such_kind\n//! ```\nfn main() {}\n",
+            ),
+        ]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("no_such_kind"));
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn unparseable_event_file_reports() {
+        let w = ws(vec![(EVENT_RS, "pub struct NotAnEnum;")]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("no longer verify"));
+    }
+
+    #[test]
+    fn snake_case_conversion() {
+        assert_eq!(snake_case("SwapBegin"), "swap_begin");
+        assert_eq!(snake_case("MdmDecision"), "mdm_decision");
+        assert_eq!(snake_case("QueueSample"), "queue_sample");
+    }
+}

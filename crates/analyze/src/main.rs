@@ -1,0 +1,103 @@
+//! The `profess-analyze` gate binary.
+//!
+//! ```text
+//! profess-analyze [--json <path>] [--list] [root]
+//! ```
+//!
+//! Analyzes the workspace (found by walking up from the current
+//! directory to the outermost `Cargo.lock`, or given explicitly),
+//! prints every diagnostic, and exits non-zero if any unsuppressed
+//! diagnostic remains. `--json` additionally writes the machine-readable
+//! `ANALYZE.json`; with `PROFESS_RESULTS_DIR` set and no `--json`, the
+//! report lands in `$PROFESS_RESULTS_DIR/ANALYZE.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use profess_analyze::{analyze_root, lints, workspace};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: profess-analyze [--json <path>] [--list] [root]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json_path: Option<PathBuf> = None;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--list" => {
+                for lint in lints::ALL_LINTS {
+                    println!("{lint}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => return usage(),
+            _ if a.starts_with('-') => return usage(),
+            _ if root_arg.is_none() => root_arg = Some(PathBuf::from(a)),
+            _ => return usage(),
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match workspace::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("profess-analyze: no Cargo.lock above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let analysis = match analyze_root(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("profess-analyze: cannot read {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &analysis.diagnostics {
+        println!("{}", d.render());
+    }
+    let active = analysis.active().count();
+    let suppressed = analysis.diagnostics.len() - active;
+    println!(
+        "profess-analyze: {} file(s), {} violation(s), {} allowed",
+        analysis.files_scanned, active, suppressed
+    );
+
+    if json_path.is_none() {
+        if let Some(dir) = std::env::var_os("PROFESS_RESULTS_DIR") {
+            json_path = Some(PathBuf::from(dir).join("ANALYZE.json"));
+        }
+    }
+    if let Some(path) = json_path {
+        let io = path
+            .parent()
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| std::fs::write(&path, analysis.to_json()));
+        match io {
+            Ok(()) => println!("analysis artifact: {}", path.display()),
+            Err(e) => {
+                eprintln!("profess-analyze: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if active == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

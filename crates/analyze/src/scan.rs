@@ -1,0 +1,362 @@
+//! A small comment- and string-aware Rust token scanner.
+//!
+//! The lints need three things a plain text grep cannot give them:
+//! identifiers distinguished from string/comment contents (so the
+//! analyzer's own source, which names `unwrap` in *strings*, does not
+//! flag itself), string-literal values (for the trace-schema lint), and
+//! `// profess: allow(<lint>)` suppression comments tied to lines.
+//!
+//! This is not a full Rust lexer; it understands exactly enough of the
+//! language to classify every byte as code, comment, or literal: line
+//! and (nested) block comments, string / raw-string / byte-string
+//! literals, char literals vs. lifetimes, and identifiers. Numeric
+//! literals and multi-char operators are swallowed as single punctuation
+//! bytes, which no lint cares about.
+
+/// One scanned token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A string literal's unescaped-as-written contents (quotes and any
+    /// raw-string hashes stripped; escape sequences left as written).
+    Str(String),
+    /// A single punctuation byte (operators are split into bytes).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A suppression comment: `// profess: allow(<lint>)`, optionally
+/// followed by `: reason`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The suppressed lint's name.
+    pub lint: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+}
+
+/// A fully scanned source file.
+#[derive(Debug, Clone, Default)]
+pub struct Scan {
+    /// Tokens in source order.
+    pub tokens: Vec<Spanned>,
+    /// All suppression comments found.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl Scan {
+    /// True if `lint` is suppressed for a diagnostic on `line`: an
+    /// `allow` comment counts on its own line and on the line directly
+    /// above (the "comment on the preceding line" style).
+    pub fn is_suppressed(&self, lint: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.lint == lint && (s.line == line || s.line + 1 == line))
+    }
+}
+
+/// Scans Rust (or shell — comments differ but nothing the lints need
+/// breaks) source text into tokens and suppressions.
+pub fn scan(text: &str) -> Scan {
+    let b = text.as_bytes();
+    let mut out = Scan::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                record_suppression(&text[start..i], line, &mut out);
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, counting lines.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (s, ni, nl) = scan_string(b, i, line);
+                out.tokens.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let (s, ni, nl) = scan_prefixed_string(b, i, line);
+                out.tokens.push(Spanned {
+                    tok: Tok::Str(s),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                i = scan_quote(b, i);
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Ident(text[start..i].to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            c => {
+                out.tokens.push(Spanned {
+                    tok: Tok::Punct(c as char),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Recognizes `r"`, `r#"`, `b"`, `br"`, `br#"`, `rb` is not Rust.
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) == Some(&b'r') {
+        j += 1;
+        while b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    j > i && b.get(j) == Some(&b'"')
+}
+
+/// Scans a plain `"..."` with escapes; returns (contents, next index,
+/// next line).
+fn scan_string(b: &[u8], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let start = i + 1;
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                let s = String::from_utf8_lossy(&b[start..i]).into_owned();
+                return (s, i + 1, line);
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (String::from_utf8_lossy(&b[start..i]).into_owned(), i, line)
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` forms.
+fn scan_prefixed_string(b: &[u8], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut raw = false;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'r') {
+        raw = true;
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    // Now at the opening quote.
+    if !raw {
+        return scan_string(b, i, line);
+    }
+    let start = i + 1;
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while h < hashes && b.get(j) == Some(&b'#') {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                let s = String::from_utf8_lossy(&b[start..i]).into_owned();
+                return (s, j, line);
+            }
+        }
+        i += 1;
+    }
+    (String::from_utf8_lossy(&b[start..i]).into_owned(), i, line)
+}
+
+/// Handles a `'`: either a char literal (skipped entirely) or a lifetime
+/// (just the quote is skipped; the name lexes as an identifier, which is
+/// harmless — no lint matches lifetime names).
+fn scan_quote(b: &[u8], i: usize) -> usize {
+    // Escaped char: '\n', '\'', '\u{..}'.
+    if b.get(i + 1) == Some(&b'\\') {
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return (j + 1).min(b.len());
+    }
+    // Plain char literal 'x' (any single byte or UTF-8 scalar, closing
+    // quote within a few bytes). Lifetimes have no closing quote.
+    let mut j = i + 1;
+    let mut seen = 0usize;
+    while j < b.len() && seen < 5 {
+        if b[j] == b'\'' {
+            return j + 1;
+        }
+        // An identifier-char run longer than one scalar means lifetime.
+        j += 1;
+        seen += 1;
+    }
+    i + 1
+}
+
+/// Parses one `//`-style comment for the suppression syntax.
+fn record_suppression(comment: &str, line: u32, out: &mut Scan) {
+    let body = comment.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("profess:") else {
+        return;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return;
+    };
+    let Some(end) = rest.find(')') else {
+        return;
+    };
+    for lint in rest[..end].split(',') {
+        let lint = lint.trim();
+        if !lint.is_empty() {
+            out.suppressions.push(Suppression {
+                lint: lint.to_string(),
+                line,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &Scan) -> Vec<(&str, u32)> {
+        s.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(i) => Some((i.as_str(), t.line)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_not_found_in_strings_or_comments() {
+        let s = scan("let x = \"unwrap\"; // unwrap\n/* unwrap */ let unwrap = 1;");
+        let ids = idents(&s);
+        assert_eq!(
+            ids,
+            vec![("let", 1), ("x", 1), ("let", 2), ("unwrap", 2)],
+            "only the code identifier on line 2 counts"
+        );
+    }
+
+    #[test]
+    fn string_tokens_carry_contents() {
+        let s = scan(r##"let k = "swap_begin"; let r = r#"raw "inner""#;"##);
+        let strs: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(v) => Some(v.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["swap_begin", "raw \"inner\""]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = '\\''; let d = 'x'; }");
+        // Neither quote form produces a Str token or breaks scanning.
+        assert!(s.tokens.iter().all(|t| !matches!(t.tok, Tok::Str(_))));
+        assert!(idents(&s).contains(&("str", 1)));
+    }
+
+    #[test]
+    fn block_comments_nest_and_count_lines() {
+        let s = scan("/* a /* b\n */ still comment\n*/ let x = 1;");
+        assert_eq!(idents(&s), vec![("let", 3), ("x", 3)]);
+    }
+
+    #[test]
+    fn suppressions_parse_with_and_without_reason() {
+        let s = scan(
+            "// profess: allow(panic)\nfoo();\nbar(); // profess: allow(wall_clock): timing probe\n",
+        );
+        assert_eq!(s.suppressions.len(), 2);
+        assert!(s.is_suppressed("panic", 1));
+        assert!(s.is_suppressed("panic", 2), "applies to the next line");
+        assert!(!s.is_suppressed("panic", 3));
+        assert!(s.is_suppressed("wall_clock", 3));
+    }
+
+    #[test]
+    fn multi_lint_suppression() {
+        let s = scan("// profess: allow(panic, hash_collections)\nx();\n");
+        assert!(s.is_suppressed("panic", 2));
+        assert!(s.is_suppressed("hash_collections", 2));
+    }
+
+    #[test]
+    fn lines_are_one_based_and_advance_in_strings() {
+        let s = scan("a\n\"two\nlines\"\nb");
+        assert_eq!(idents(&s), vec![("a", 1), ("b", 4)]);
+    }
+}

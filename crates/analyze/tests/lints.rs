@@ -1,0 +1,192 @@
+//! Fixture-based integration tests: one positive (violating) and one
+//! suppressed-or-clean negative fixture per lint, plus an end-to-end run
+//! of the `profess-analyze` binary against an on-disk fixture tree.
+
+use profess_analyze::{analyze, lints, workspace::SourceFile, Workspace};
+
+fn ws(files: &[(&str, &str)]) -> Workspace {
+    Workspace {
+        files: files.iter().map(|(p, t)| SourceFile::new(p, t)).collect(),
+    }
+}
+
+/// Active (unsuppressed) diagnostics of one lint over a fixture set.
+fn active(files: &[(&str, &str)], lint: &str) -> usize {
+    analyze(&ws(files))
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == lint && !d.suppressed)
+        .count()
+}
+
+#[test]
+fn hash_collections_positive_and_suppressed() {
+    let bad = "use std::collections::HashMap;\n";
+    assert_eq!(
+        active(&[("crates/core/src/x.rs", bad)], "hash_collections"),
+        1
+    );
+    let allowed =
+        "// profess: allow(hash_collections): scratch map, drained before any iteration\n\
+         use std::collections::HashMap;\n";
+    assert_eq!(
+        active(&[("crates/core/src/x.rs", allowed)], "hash_collections"),
+        0
+    );
+}
+
+#[test]
+fn wall_clock_positive_and_suppressed() {
+    let bad = "use std::time::Instant;\n";
+    assert_eq!(active(&[("crates/obs/src/x.rs", bad)], "wall_clock"), 1);
+    let allowed = "use std::time::Instant; // profess: allow(wall_clock): log timestamps only\n";
+    assert_eq!(active(&[("crates/obs/src/x.rs", allowed)], "wall_clock"), 0);
+}
+
+#[test]
+fn thread_spawn_positive_and_suppressed() {
+    let bad = "fn f() { std::thread::spawn(|| ()); }\n";
+    assert_eq!(active(&[("crates/core/src/x.rs", bad)], "thread_spawn"), 1);
+    let allowed = "// profess: allow(thread_spawn): joins before returning\n\
+                   fn f() { std::thread::spawn(|| ()); }\n";
+    assert_eq!(
+        active(&[("crates/core/src/x.rs", allowed)], "thread_spawn"),
+        0
+    );
+}
+
+#[test]
+fn panic_positive_and_suppressed() {
+    let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(active(&[("crates/mem/src/x.rs", bad)], "panic"), 1);
+    let allowed = "fn f(x: Option<u8>) -> u8 {\n\
+                   // profess: allow(panic): caller checked is_some\n\
+                   x.unwrap()\n}\n";
+    assert_eq!(active(&[("crates/mem/src/x.rs", allowed)], "panic"), 0);
+}
+
+#[test]
+fn unsafe_code_positive_and_suppressed() {
+    let bad = "#![forbid(unsafe_code)]\nfn f() { unsafe {} }\n";
+    assert_eq!(active(&[("crates/mem/src/lib.rs", bad)], "unsafe_code"), 1);
+    let allowed = "#![forbid(unsafe_code)]\n\
+                   // profess: allow(unsafe_code): doc example, not compiled\n\
+                   fn f() { unsafe {} }\n";
+    assert_eq!(
+        active(&[("crates/mem/src/lib.rs", allowed)], "unsafe_code"),
+        0
+    );
+}
+
+#[test]
+fn hermetic_deps_positive_and_not_suppressible() {
+    let bad = "# profess: allow(hermetic_deps): nope\n[dependencies]\nserde = \"1.0\"\n";
+    // Hermeticity is deliberately immune to inline allows.
+    assert_eq!(active(&[("crates/x/Cargo.toml", bad)], "hermetic_deps"), 1);
+    let ok = "[dependencies]\nprofess-types = { path = \"../types\" }\n";
+    assert_eq!(active(&[("crates/x/Cargo.toml", ok)], "hermetic_deps"), 0);
+}
+
+#[test]
+fn hermetic_lock_positive_and_negative() {
+    let bad = "[[package]]\nname = \"rand\"\nversion = \"0.8.5\"\n\
+               source = \"registry+https://github.com/rust-lang/crates.io-index\"\n";
+    assert_eq!(active(&[("Cargo.lock", bad)], "hermetic_lock"), 2);
+    let ok = "[[package]]\nname = \"profess-core\"\nversion = \"0.1.0\"\n";
+    assert_eq!(active(&[("Cargo.lock", ok)], "hermetic_lock"), 0);
+}
+
+#[test]
+fn trace_schema_positive_and_negative() {
+    let event_ok = r#"
+        impl TraceEvent {
+            pub fn kind(&self) -> &'static str {
+                match self {
+                    TraceEvent::SwapBegin { .. } => "swap_begin",
+                }
+            }
+        }
+    "#;
+    let event_bad = r#"
+        impl TraceEvent {
+            pub fn kind(&self) -> &'static str {
+                match self {
+                    TraceEvent::SwapBegin { .. } => "swap_start",
+                }
+            }
+        }
+    "#;
+    let ev = "crates/obs/src/event.rs";
+    assert_eq!(active(&[(ev, event_bad)], "trace_schema"), 1);
+    assert_eq!(active(&[(ev, event_ok)], "trace_schema"), 0);
+    // A CI script demanding a nonexistent kind is flagged too.
+    let ci = (
+        "scripts/ci.sh",
+        "tracecheck \"$f\" run swap_begin bogus_kind\n",
+    );
+    assert_eq!(active(&[(ev, event_ok), ci], "trace_schema"), 1);
+}
+
+#[test]
+fn json_report_is_stable_and_labeled() {
+    let a = analyze(&ws(&[(
+        "crates/core/src/x.rs",
+        "use std::collections::HashMap;\n",
+    )]));
+    let json = a.to_json();
+    assert!(json.contains("\"tool\":\"profess-analyze\""), "{json}");
+    assert!(json.contains("\"lint\":\"hash_collections\""), "{json}");
+    assert_eq!(json, a.to_json(), "byte-stable on repeated rendering");
+}
+
+/// End-to-end: the built binary exits non-zero on a violating fixture
+/// tree, zero on a clean one, and writes `ANALYZE.json` when asked.
+#[test]
+fn binary_gates_fixture_trees() {
+    use std::fs;
+    use std::process::Command;
+
+    let bin = env!("CARGO_BIN_EXE_profess-analyze");
+    let root = std::env::temp_dir().join(format!("profess-analyze-e2e-{}", std::process::id()));
+    let src = root.join("crates/core/src");
+    fs::create_dir_all(&src).expect("mkdir fixture");
+    fs::write(root.join("Cargo.lock"), "version = 4\n").expect("lockfile");
+
+    // Violating tree: HashMap in simulator state.
+    fs::write(src.join("x.rs"), "use std::collections::HashMap;\n").expect("fixture");
+    let json = root.join("ANALYZE.json");
+    let out = Command::new(bin)
+        .arg("--json")
+        .arg(&json)
+        .arg(&root)
+        .output()
+        .expect("run analyzer");
+    assert_eq!(out.status.code(), Some(1), "violations must gate");
+    let report = fs::read_to_string(&json).expect("ANALYZE.json written");
+    assert!(report.contains("hash_collections"), "{report}");
+
+    // Clean tree: same file, deterministic structure.
+    fs::write(src.join("x.rs"), "use std::collections::BTreeMap;\n").expect("fixture");
+    let out = Command::new(bin).arg(&root).output().expect("run analyzer");
+    assert_eq!(out.status.code(), Some(0), "clean tree must pass");
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn lint_list_is_complete() {
+    // Every lint exercised above is registered for `--list`/docs.
+    for lint in [
+        "hash_collections",
+        "wall_clock",
+        "thread_spawn",
+        "panic",
+        "unsafe_code",
+        "hermetic_deps",
+        "hermetic_lock",
+        "trace_schema",
+    ] {
+        assert!(lints::ALL_LINTS.contains(&lint), "{lint} not registered");
+    }
+    assert_eq!(lints::ALL_LINTS.len(), 8);
+}

@@ -1,0 +1,62 @@
+//! The analyzer's strongest test is the workspace itself: the shipped
+//! tree must be clean, and the cross-file trace-schema extraction must
+//! still find the real `TraceEvent` enum (a restructure that silently
+//! blinds the lint shows up here, not in CI three PRs later).
+
+use std::path::Path;
+
+use profess_analyze::{analyze_root, lints::trace_schema, Analysis};
+
+fn workspace_analysis() -> Analysis {
+    let root = profess_analyze::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/analyze");
+    analyze_root(&root).expect("load workspace")
+}
+
+#[test]
+fn shipped_tree_is_analyzer_clean() {
+    let a = workspace_analysis();
+    let active: Vec<String> = a.active().map(|d| d.render()).collect();
+    assert!(
+        a.is_clean(),
+        "workspace has unsuppressed diagnostics:\n{}",
+        active.join("\n")
+    );
+}
+
+#[test]
+fn coverage_is_plausible() {
+    let a = workspace_analysis();
+    // The walker found the real tree, not an empty or truncated one.
+    assert!(
+        a.files_scanned >= 100,
+        "only {} files scanned — walker regression?",
+        a.files_scanned
+    );
+    // The known invariant allows are visible as suppressed diagnostics,
+    // proving suppressions are surfaced rather than swallowed.
+    let suppressed = a.diagnostics.iter().filter(|d| d.suppressed).count();
+    assert!(
+        suppressed >= 5,
+        "expected the documented allows, got {suppressed}"
+    );
+}
+
+#[test]
+fn trace_schema_extraction_still_works() {
+    let root = profess_analyze::workspace::find_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root");
+    let ws = profess_analyze::Workspace::load(&root).expect("load");
+    assert!(
+        ws.get(trace_schema::EVENT_RS).is_some(),
+        "{} moved — update the trace_schema lint paths",
+        trace_schema::EVENT_RS
+    );
+    let a = workspace_analysis();
+    assert!(
+        !a.diagnostics
+            .iter()
+            .any(|d| d.message.contains("no longer verify")),
+        "trace_schema lint can no longer parse the TraceEvent kind() arms"
+    );
+}

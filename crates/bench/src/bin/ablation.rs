@@ -12,11 +12,11 @@
 use profess_bench::harness::TraceCollector;
 use profess_bench::{
     init_trace_flag, run_solo, run_workload, summarize, target_from_args, workload_metrics,
-    SoloCache, MULTI_TARGET_MISSES,
+    workload_or_usage, SoloCache, MULTI_TARGET_MISSES,
 };
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
-use profess_trace::{workload::workload_by_id, SpecProgram};
+use profess_trace::SpecProgram;
 use profess_types::SystemConfig;
 
 fn main() {
@@ -34,7 +34,7 @@ fn main() {
         "wspeed noC3",
     ]);
     for id in ["w09", "w16", "w19"] {
-        let w = workload_by_id(id).expect("known workload");
+        let w = workload_or_usage(id);
         let mut vals = Vec::new();
         for pk in [PolicyKind::Profess, PolicyKind::ProfessNoCase3] {
             let solo = cache.solo_ipcs(&cfg, pk, &w, target);

@@ -11,10 +11,11 @@
 //! the most from the competition for M1.
 
 use profess_bench::harness::TraceCollector;
-use profess_bench::{init_trace_flag, run_workload, target_from_args, workload_metrics, SoloCache};
+use profess_bench::{
+    init_trace_flag, run_workload, target_from_args, workload_metrics, workload_or_usage, SoloCache,
+};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
-use profess_trace::workload::workload_by_id;
 use profess_types::SystemConfig;
 
 fn main() {
@@ -26,7 +27,7 @@ fn main() {
     println!("Figure 2: slowdowns under PoM management\n");
     let mut t = TextTable::new(vec!["workload", "program", "slowdown"]);
     for id in ["w09", "w16", "w19"] {
-        let w = workload_by_id(id).expect("known workload");
+        let w = workload_or_usage(id);
         let solo = cache.solo_ipcs(&cfg, PolicyKind::Pom, &w, target);
         let multi = run_workload(&cfg, PolicyKind::Pom, &w, target);
         traces.record(&format!("{id}:PoM"), &multi);

@@ -8,10 +8,11 @@
 //! special: ProFess finds no fairness opportunity beyond MDM's.
 
 use profess_bench::harness::TraceCollector;
-use profess_bench::{init_trace_flag, run_workload, target_from_args, workload_metrics, SoloCache};
+use profess_bench::{
+    init_trace_flag, run_workload, target_from_args, workload_metrics, workload_or_usage, SoloCache,
+};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
-use profess_trace::workload::workload_by_id;
 use profess_types::SystemConfig;
 
 fn main() {
@@ -22,7 +23,7 @@ fn main() {
     let mut traces = TraceCollector::from_env("fig16");
     println!("Figure 16: per-program slowdowns under the evaluated schemes\n");
     for id in ["w09", "w16", "w19"] {
-        let w = workload_by_id(id).expect("known workload");
+        let w = workload_or_usage(id);
         let mut t = TextTable::new(vec!["program", "PoM", "MDM", "ProFess"]);
         let mut per_policy = Vec::new();
         for pk in [PolicyKind::Pom, PolicyKind::Mdm, PolicyKind::Profess] {

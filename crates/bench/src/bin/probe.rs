@@ -4,7 +4,7 @@
 //! the figure benches.
 
 use profess_bench::harness::TraceCollector;
-use profess_bench::{init_trace_flag, run_solo};
+use profess_bench::{init_trace_flag, run_solo, usage_error};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_trace::SpecProgram;
@@ -13,11 +13,14 @@ use std::time::Instant;
 
 fn main() {
     init_trace_flag();
-    let target: u64 = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40_000);
+    let target: u64 = match std::env::args().skip(1).find(|a| !a.starts_with('-')) {
+        None => 40_000,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            usage_error(&format!(
+                "memory-operation target `{s}` is not an unsigned integer"
+            ))
+        }),
+    };
     let mut traces = TraceCollector::from_env("probe");
     let cfg = SystemConfig::scaled_single();
     let mut t = TextTable::new(vec![

@@ -3,10 +3,11 @@
 //! per-program slowdowns, weighted speedup, unfairness and swap fraction.
 
 use profess_bench::harness::TraceCollector;
-use profess_bench::{init_trace_flag, run_workload, workload_metrics, SoloCache};
+use profess_bench::{
+    init_trace_flag, run_workload, usage_error, workload_metrics, workload_or_usage, SoloCache,
+};
 use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
-use profess_trace::workload::workload_by_id;
 use profess_types::SystemConfig;
 use std::time::Instant;
 
@@ -16,7 +17,14 @@ fn main() {
         .skip(1)
         .filter(|a| !a.starts_with('-'))
         .collect();
-    let target: u64 = pos.first().and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let target: u64 = match pos.first() {
+        None => 60_000,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            usage_error(&format!(
+                "memory-operation target `{s}` is not an unsigned integer"
+            ))
+        }),
+    };
     let ids: Vec<String> = pos.iter().skip(1).cloned().collect();
     let ids = if ids.is_empty() {
         vec!["w09".to_string(), "w16".to_string(), "w19".to_string()]
@@ -30,7 +38,7 @@ fn main() {
         "wl", "policy", "sdn0", "sdn1", "sdn2", "sdn3", "wspeed", "unfair", "swap%", "eff", "secs",
     ]);
     for id in &ids {
-        let w = workload_by_id(id).expect("known workload id");
+        let w = workload_or_usage(id);
         for pk in [PolicyKind::Pom, PolicyKind::Mdm, PolicyKind::Profess] {
             let t0 = Instant::now();
             let solo = cache.solo_ipcs(&cfg, pk, &w, target);

@@ -7,6 +7,7 @@
 //! computation against per-policy solo references, and normalized-series
 //! printing.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -25,16 +26,54 @@ pub const SOLO_TARGET_MISSES: u64 = 120_000;
 /// Default memory operations per program for multiprogram experiments.
 pub const MULTI_TARGET_MISSES: u64 = 60_000;
 
+/// Terminates the current bench binary with a usage error (exit
+/// status 2, the conventional Unix code for bad invocations).
+///
+/// The figure/table binaries share one argument shape — `[--trace]
+/// [<target-misses>] [<workload-id>...]` — so malformed input gets one
+/// diagnostic and a usage line instead of a panic backtrace per binary.
+pub fn usage_error(msg: &str) -> ! {
+    let bin = std::env::args().next().unwrap_or_default();
+    let bin = bin.rsplit('/').next().unwrap_or("bench");
+    eprintln!("{bin}: error: {msg}");
+    eprintln!("usage: {bin} [--trace] [<target-misses>] [<workload-id>...]");
+    std::process::exit(2)
+}
+
 /// Reads the per-program memory-operation target: first non-flag CLI
 /// argument (flags like `--trace` are skipped), then the
-/// `PROFESS_TARGET` environment variable, then `default`.
+/// `PROFESS_TARGET` environment variable, then `default`. A present but
+/// non-numeric value is a usage error, not a silent fallback.
 pub fn target_from_args(default: u64) -> u64 {
-    std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with('-'))
-        .or_else(|| std::env::var("PROFESS_TARGET").ok())
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+    let (source, value) = match std::env::args().skip(1).find(|a| !a.starts_with('-')) {
+        Some(v) => ("argument", v),
+        None => match std::env::var("PROFESS_TARGET") {
+            Ok(v) => ("PROFESS_TARGET", v),
+            Err(_) => return default,
+        },
+    };
+    match value.parse() {
+        Ok(t) => t,
+        Err(_) => usage_error(&format!(
+            "memory-operation target {source} `{value}` is not an unsigned integer"
+        )),
+    }
+}
+
+/// Looks a workload id up, exiting with a usage error naming the known
+/// ids when it does not exist. Bench binaries should prefer this to
+/// unwrapping [`workload_by_id`](profess_trace::workload::workload_by_id).
+pub fn workload_or_usage(id: &str) -> Workload {
+    profess_trace::workload::workload_by_id(id).unwrap_or_else(|| {
+        let known: Vec<&str> = profess_trace::workload::workloads()
+            .iter()
+            .map(|w| w.id)
+            .collect();
+        usage_error(&format!(
+            "unknown workload id `{id}` (known: {})",
+            known.join(" ")
+        ))
+    })
 }
 
 /// Handles the figure binaries' `--trace` flag: when present, sets

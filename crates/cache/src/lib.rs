@@ -27,6 +27,7 @@
 //! assert_eq!(second.hit, HitLevel::L1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -108,6 +108,7 @@ impl Cache {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.stamp)
+                // profess: allow(panic): guarded by `set.len() == ways`, ways >= 1
                 .expect("non-empty set");
             let v = set.swap_remove(i);
             Some(Victim {

@@ -92,6 +92,7 @@ impl FrameAllocator {
                 // swap keeps removal O(1) and uniform.
                 let last = list.len() - 1;
                 list.swap(pick, last);
+                // profess: allow(panic): guarded by `pick < list.len()` just above
                 let frame = list.pop().expect("non-empty list");
                 let first_block = geom.page_first_block(frame);
                 for b in 0..geom.blocks_per_page() {

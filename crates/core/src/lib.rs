@@ -24,6 +24,7 @@
 //! assert!(report.programs[0].ipc > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

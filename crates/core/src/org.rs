@@ -96,6 +96,7 @@ impl StEntry {
                 return o;
             }
         }
+        // profess: allow(panic): ST entries are permutations — a missing slot means memory corruption
         panic!("corrupt ST entry: no block resides at {actual}");
     }
 

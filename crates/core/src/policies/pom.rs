@@ -18,7 +18,7 @@
 //! rather than a sampled subset — which favours the baseline and thus
 //! makes the reproduction's MDM-vs-PoM comparisons conservative.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use profess_types::config::PomParams;
 use profess_types::ids::ProgramId;
@@ -37,7 +37,7 @@ pub struct PomPolicy {
     served_in_epoch: u64,
     /// Weighted epoch access count per (group, original slot) for the
     /// hypothetical benefit estimate.
-    epoch_counts: HashMap<(u64, u8), u64>,
+    epoch_counts: BTreeMap<(u64, u8), u64>,
     hyp_swaps: Vec<u64>,
     hyp_hits: Vec<u64>,
     /// Epochs completed (diagnostics).
@@ -58,7 +58,7 @@ impl PomPolicy {
             k,
             threshold: Some(first),
             served_in_epoch: 0,
-            epoch_counts: HashMap::new(),
+            epoch_counts: BTreeMap::new(),
             hyp_swaps: vec![0; n],
             hyp_hits: vec![0; n],
             epochs: 0,
@@ -85,11 +85,11 @@ impl PomPolicy {
                 best = Some((i, benefit));
             }
         }
-        let (i, benefit) = best.expect("non-empty thresholds");
-        self.threshold = if benefit > 0 {
-            Some(self.params.thresholds[i])
-        } else {
-            None
+        // With an empty threshold list no hypothetical wins and migration
+        // stays prohibited — same outcome as benefit <= 0.
+        self.threshold = match best {
+            Some((i, benefit)) if benefit > 0 => Some(self.params.thresholds[i]),
+            _ => None,
         };
         self.epoch_counts.clear();
         self.hyp_swaps.iter_mut().for_each(|v| *v = 0);

@@ -177,6 +177,7 @@ impl Rsm {
         let sm = match &mut s.smoothed {
             None => {
                 s.smoothed = Some(raw1);
+                // profess: allow(panic): assigned `Some` on the previous line
                 s.smoothed.as_ref().expect("just set")
             }
             Some(sm) => {

@@ -14,7 +14,7 @@
 //! the Table 2 catalogue and is exercised by tests and the `ablation`
 //! tooling rather than by a paper figure.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use profess_types::ids::ProgramId;
 use profess_types::{Cycle, GroupId};
@@ -50,7 +50,7 @@ pub struct SilcFmPolicy {
     params: SilcFmParams,
     /// Aging access counters of M1-resident blocks, keyed by group (the
     /// M1 slot's current resident is the tracked block).
-    aging: HashMap<u64, u32>,
+    aging: BTreeMap<u64, u32>,
     served_since_age: u64,
     locks_held: u64,
 }
@@ -60,7 +60,7 @@ impl SilcFmPolicy {
     pub fn new(params: SilcFmParams) -> Self {
         SilcFmPolicy {
             params,
-            aging: HashMap::new(),
+            aging: BTreeMap::new(),
             served_since_age: 0,
             locks_held: 0,
         }

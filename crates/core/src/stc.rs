@@ -152,6 +152,7 @@ impl Stc {
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, e)| e.stamp)
+                // profess: allow(panic): guarded by `set.len() == ways`, ways >= 1
                 .expect("full set");
             let v = set.swap_remove(i);
             self.stats.evictions += 1;

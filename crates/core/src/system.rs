@@ -22,7 +22,7 @@
 //! (fresh instance, new seed) to keep contending until the slowest
 //! finishes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use profess_cpu::{CoreRequest, CoreSim, MemOpKind, OpSource};
 use profess_mem::{AccessKind, ChannelSim, PhysRequest, Served};
@@ -412,7 +412,7 @@ struct System {
     policy: Box<dyn MigrationPolicy>,
     region_map: RegionMap,
     meta: TokenRing<Origin>,
-    pending_st: HashMap<GroupId, Vec<PendingData>>,
+    pending_st: BTreeMap<GroupId, Vec<PendingData>>,
     // Cached next-event times; `dirty` marks entries whose component was
     // mutated since the cache was filled and must be recomputed.
     ch_next: Vec<Cycle>,
@@ -543,7 +543,7 @@ impl System {
             restarts: vec![0; n_prog],
             first_done: vec![None; n_prog],
             meta: TokenRing::new(),
-            pending_st: HashMap::new(),
+            pending_st: BTreeMap::new(),
             ch_next: vec![Cycle::ZERO; n_ch],
             ch_dirty: vec![true; n_ch],
             core_next: vec![Cycle::ZERO; n_prog],
@@ -636,6 +636,7 @@ impl System {
                 let f = self
                     .alloc
                     .allocate(program, &self.geom)
+                    // profess: allow(panic): capacity misconfiguration is unrecoverable mid-run
                     .unwrap_or_else(|| panic!("out of physical memory for program {core}"));
                 self.page_tables[core].insert(vpage, f);
                 f
@@ -731,6 +732,7 @@ impl System {
         let done = self.channels[ch].begin_swap(now, m1_loc, m2_loc);
         let promoted_owner = self
             .owner(group, orig_slot)
+            // profess: allow(panic): allocator invariant — a swap is only begun for a resident block
             .expect("accessed block must be allocated");
         let demoted_owner = self.owner(group, m1_res);
         // The swap is atomic in this model (the channel blocks until
@@ -777,6 +779,7 @@ impl System {
         let origin = self
             .meta
             .remove(s.id)
+            // profess: allow(panic): channel invariant — every completion token was issued by us
             .expect("completion for unknown token");
         match origin {
             Origin::StWrite => {}

@@ -285,13 +285,9 @@ impl CoreSim {
         if self.is_finished() {
             return;
         }
-        if self.obs.is_some() {
-            let occ = self.exec_seq - self.retired_seq();
-            self.obs
-                .as_mut()
-                .expect("checked")
-                .rob_occupancy
-                .record(occ);
+        let occ = self.exec_seq - self.retired_seq();
+        if let Some(obs) = self.obs.as_mut() {
+            obs.rob_occupancy.record(occ);
         }
         let now_slot = now.raw().saturating_mul(self.spmc);
         loop {
@@ -348,6 +344,7 @@ impl CoreSim {
                     .min(rob_space);
                 self.exec_slot += n;
                 self.exec_seq += n;
+                // profess: allow(panic): state-machine invariant — Executing implies a pending op
                 self.pending.as_mut().expect("pending op").gap_left -= n as u32;
                 continue;
             }
@@ -364,6 +361,7 @@ impl CoreSim {
                 self.wait = WaitState::OnResponse;
                 return;
             }
+            // profess: allow(panic): state-machine invariant — Executing implies a pending op
             let op = self.pending.as_ref().expect("pending op").op;
             match op.kind {
                 MemOpKind::Load => {

@@ -21,6 +21,7 @@
 //! pointer chains, and IPC sensitivity to memory latency — without
 //! simulating individual non-memory instructions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

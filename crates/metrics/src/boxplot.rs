@@ -43,7 +43,7 @@ impl BoxPlot {
     pub fn from_values(values: &[f64]) -> BoxPlot {
         assert!(!values.is_empty(), "empty data set");
         let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         let q1 = quantile(&sorted, 0.25);
         let median = quantile(&sorted, 0.5);
         let q3 = quantile(&sorted, 0.75);
@@ -52,19 +52,20 @@ impl BoxPlot {
         let hi_fence = q3 + 1.5 * iqr;
         // Whiskers extend from the box: with interpolated quartiles the
         // nearest in-fence data point can fall inside the box, so clamp.
+        // Both `find`s always succeed (the max is >= q1 >= lo_fence and
+        // the min is <= q3 <= hi_fence); the fallback only mirrors the
+        // clamp they feed into.
         let whisker_lo = sorted
             .iter()
             .copied()
             .find(|&v| v >= lo_fence)
-            .expect("non-empty")
-            .min(q1);
+            .map_or(q1, |v| v.min(q1));
         let whisker_hi = sorted
             .iter()
             .rev()
             .copied()
             .find(|&v| v <= hi_fence)
-            .expect("non-empty")
-            .max(q3);
+            .map_or(q3, |v| v.max(q3));
         let outliers = sorted
             .iter()
             .copied()

@@ -9,6 +9,7 @@
 //! * Tukey box-plot summaries (quartiles, whiskers, outliers) and the
 //!   geometric mean, used by the paper's Figure 5.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -25,6 +25,7 @@
 //! [`EventRing`]; an overflowing trace reports its drop count rather
 //! than growing without bound or silently passing for complete.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

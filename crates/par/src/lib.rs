@@ -14,6 +14,7 @@
 //! available parallelism, else 1. `PROFESS_THREADS=1` forces fully
 //! serial in-caller execution (no worker threads are spawned at all).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -137,6 +138,7 @@ impl Pool {
         });
         slots
             .into_iter()
+            // profess: allow(panic): the atomic index counter hands out each slot exactly once
             .map(|r| r.expect("every index claimed exactly once"))
             .collect()
     }

@@ -20,6 +20,7 @@
 //! All outputs are pinned by known-answer tests against the reference C
 //! implementations' published vectors (`tests/known_answers.rs`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

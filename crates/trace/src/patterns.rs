@@ -195,10 +195,7 @@ impl Pattern for Hotspot {
         }
         self.refs_in_phase += 1;
         let u = rng.next_f64();
-        let rank = match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
-        {
+        let rank = match self.cdf.binary_search_by(|p| p.total_cmp(&u)) {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         };
         let block = u64::from(self.perm[rank]);

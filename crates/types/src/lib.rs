@@ -21,6 +21,7 @@
 //! assert_eq!(cfg.org.m1_bytes * 8, cfg.org.m2_bytes());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

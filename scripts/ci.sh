@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate (see README.md): format, build, test — fully offline.
+# Tier-1 gate (see README.md): format, build, test, static analysis —
+# fully offline.
 #
 # The workspace is hermetic by policy: no external crates, so every step
 # must succeed with the registry unreachable. --offline makes a
@@ -18,12 +19,21 @@ cargo build --release --workspace --offline
 echo "==> cargo test -q --workspace --offline"
 cargo test -q --workspace --offline
 
+# Static analysis gate: the in-tree analyzer enforces determinism
+# (no unordered maps in simulator state), hermeticity (path-only deps,
+# registry-free lockfile), the panic policy, and trace-schema sync.
+# Exits non-zero on any unsuppressed diagnostic; the machine-readable
+# report lands next to the smoke artifacts.
+echo "==> profess-analyze (static analysis gate)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release --offline -q -p profess-analyze -- --json "$smoke_dir/ANALYZE.json"
+test -s "$smoke_dir/ANALYZE.json"
+
 # Bench smoke: run one figure binary end to end with a tiny op budget so
 # the parallel sweep engine and the BENCH_<name>.json perf artifact path
 # stay exercised. The artifact lands in a scratch dir, not results/.
 echo "==> bench smoke (fig05, tiny budget)"
-smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
 PROFESS_RESULTS_DIR="$smoke_dir" \
     cargo run --release --offline -q -p profess-bench --bin fig05 -- 200 > /dev/null
 test -s "$smoke_dir/BENCH_fig05.json"

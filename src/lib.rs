@@ -42,6 +42,7 @@
 //! paper-vs-measured record, and `crates/bench/src/bin/` for the binaries
 //! that regenerate every table and figure of the paper's evaluation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use profess_cache as cache;
