@@ -20,8 +20,10 @@ pub const UNSAFE_CODE: &str = "unsafe_code";
 /// deterministically (the report fingerprints replay their decisions).
 const SIM_STATE_CRATES: &[&str] = &["core", "mem", "cpu", "cache"];
 
-/// The wall clock is only legitimate where wall time is the measurement.
-const WALL_CLOCK_CRATES: &[&str] = &["bench"];
+/// The wall clock is only legitimate where wall time is the measurement
+/// (`bench`) or the supervisor (`par`: watchdog deadlines for hung
+/// tasks — never fed into task results).
+const WALL_CLOCK_CRATES: &[&str] = &["bench", "par"];
 
 /// Threads are spawned only by the deterministic pool.
 const THREAD_CRATES: &[&str] = &["par"];
@@ -171,11 +173,13 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_only_in_bench() {
+    fn wall_clock_only_in_bench_and_par() {
         let bad = "use std::time::Instant;\n";
         assert_eq!(check_source("crates/core/src/x.rs", bad).len(), 1);
         assert!(check_source("crates/bench/src/bin/fig05.rs", bad).is_empty());
         assert!(check_source("crates/bench/src/harness.rs", bad).is_empty());
+        // The supervisor's watchdog measures wall time by design.
+        assert!(check_source("crates/par/src/supervise.rs", bad).is_empty());
     }
 
     #[test]

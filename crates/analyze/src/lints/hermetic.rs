@@ -4,7 +4,10 @@
 //! * [`HERMETIC_DEPS`] — every dependency in every `Cargo.toml` must be
 //!   a `path` dependency or inherit one via `workspace = true`;
 //! * [`HERMETIC_LOCK`] — `Cargo.lock` must contain only workspace
-//!   members (no `source`/`checksum` entries, no foreign names).
+//!   members (no `source`/`checksum` entries, no foreign names), and it
+//!   must contain *exactly* the members the manifests declare: a crate
+//!   on disk but absent from the lockfile (or a lockfile package whose
+//!   manifest is gone) is a stale lockfile and fails.
 //!
 //! These lints are not suppressible: an "allowed" external crate would
 //! defeat the policy they enforce.
@@ -19,13 +22,50 @@ pub const HERMETIC_LOCK: &str = "hermetic_lock";
 
 /// Runs both hermeticity lints over the workspace.
 pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let members = workspace_members(ws);
     for f in &ws.files {
         match f.role {
             Role::Manifest => check_manifest(&f.rel_path, &f.text, out),
-            Role::Lockfile => check_lockfile(&f.rel_path, &f.text, out),
+            Role::Lockfile => check_lockfile(&f.rel_path, &f.text, &members, out),
             _ => {}
         }
     }
+}
+
+/// Package names the workspace's manifests declare (`[package]` name),
+/// with the manifest that declares each, sorted by name.
+fn workspace_members(ws: &Workspace) -> Vec<(String, String)> {
+    let mut members: Vec<(String, String)> = ws
+        .files
+        .iter()
+        .filter(|f| f.role == Role::Manifest)
+        .filter_map(|f| Some((package_name(&f.text)?, f.rel_path.clone())))
+        .collect();
+    members.sort();
+    members
+}
+
+/// The `name` entry of a manifest's `[package]` section, if any (the
+/// virtual workspace manifest has none). Shared with [`super::doc_sync`],
+/// which resolves `cargo run -p <pkg>` examples against the same set.
+pub(crate) fn package_name(text: &str) -> Option<String> {
+    let mut in_package = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if !in_package {
+            continue;
+        }
+        if let Some((k, v)) = line.split_once('=') {
+            if k.trim() == "name" {
+                return Some(v.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
 }
 
 /// Sections whose entries are dependency specifications.
@@ -104,9 +144,10 @@ fn push_dep(out: &mut Vec<Diagnostic>, path: &str, line: u32, dep: &str) {
     ));
 }
 
-fn check_lockfile(path: &str, text: &str, out: &mut Vec<Diagnostic>) {
+fn check_lockfile(path: &str, text: &str, members: &[(String, String)], out: &mut Vec<Diagnostic>) {
     let mut pkg_name = String::new();
     let mut pkg_line = 0u32;
+    let mut locked: Vec<(String, u32)> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lineno = i as u32 + 1;
@@ -122,6 +163,7 @@ fn check_lockfile(path: &str, text: &str, out: &mut Vec<Diagnostic>) {
         match key {
             "name" => {
                 pkg_name = value.to_string();
+                locked.push((pkg_name.clone(), pkg_line.max(lineno)));
                 if !(pkg_name == "profess" || pkg_name.starts_with("profess-")) {
                     out.push(Diagnostic::new(
                         HERMETIC_LOCK,
@@ -146,6 +188,39 @@ fn check_lockfile(path: &str, text: &str, out: &mut Vec<Diagnostic>) {
                 ));
             }
             _ => {}
+        }
+    }
+    // Cross-check: the lockfile and the manifests on disk must agree on
+    // the member set. Skipped when no manifests were supplied so the
+    // text-only fixtures above still exercise the line checks alone.
+    if members.is_empty() {
+        return;
+    }
+    for (name, manifest) in members {
+        if !locked.iter().any(|(n, _)| n == name) {
+            out.push(Diagnostic::new(
+                HERMETIC_LOCK,
+                path,
+                1,
+                format!(
+                    "stale lockfile: workspace member `{name}` (declared by {manifest}) is \
+                     missing from Cargo.lock — run `cargo update -w --offline` and commit"
+                ),
+            ));
+        }
+    }
+    for (name, line) in &locked {
+        let is_ours = *name == "profess" || name.starts_with("profess-");
+        if is_ours && !members.iter().any(|(n, _)| n == name) {
+            out.push(Diagnostic::new(
+                HERMETIC_LOCK,
+                path,
+                *line,
+                format!(
+                    "stale lockfile: package `{name}` has no manifest on disk — the crate \
+                     was removed or renamed without regenerating Cargo.lock"
+                ),
+            ));
         }
     }
 }
@@ -197,9 +272,49 @@ mod tests {
                    source = \"registry+https://github.com/rust-lang/crates.io-index\"\n\
                    checksum = \"abc\"\n";
         let mut out = Vec::new();
-        check_lockfile("Cargo.lock", bad, &mut out);
+        check_lockfile("Cargo.lock", bad, &[], &mut out);
         assert_eq!(out.len(), 3, "{out:?}");
         assert!(out.iter().all(|d| d.lint == HERMETIC_LOCK));
+    }
+
+    #[test]
+    fn lockfile_member_cross_check() {
+        let lock = "[[package]]\nname = \"profess-core\"\nversion = \"0.1.0\"\n\n\
+                    [[package]]\nname = \"profess-gone\"\nversion = \"0.1.0\"\n";
+        let members = vec![
+            (
+                "profess-core".to_string(),
+                "crates/core/Cargo.toml".to_string(),
+            ),
+            (
+                "profess-mem".to_string(),
+                "crates/mem/Cargo.toml".to_string(),
+            ),
+        ];
+        let mut out = Vec::new();
+        check_lockfile("Cargo.lock", lock, &members, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("profess-mem"), "{out:?}");
+        assert!(out[0].message.contains("missing from Cargo.lock"));
+        assert!(out[1].message.contains("profess-gone"));
+        assert!(out[1].message.contains("no manifest on disk"));
+        // In agreement: no findings.
+        let mut ok = Vec::new();
+        check_lockfile(
+            "Cargo.lock",
+            "[[package]]\nname = \"profess-core\"\n",
+            &members[..1],
+            &mut ok,
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn package_name_reads_package_section_only() {
+        let m = "[workspace]\nmembers = [\"crates/*\"]\n";
+        assert_eq!(package_name(m), None);
+        let m = "[package]\nname = \"profess-core\"\n\n[dependencies]\nname = \"decoy\"\n";
+        assert_eq!(package_name(m).as_deref(), Some("profess-core"));
     }
 
     #[test]

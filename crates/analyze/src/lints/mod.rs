@@ -9,9 +9,11 @@
 //! * **hermeticity lints** ([`hermetic`]) — manifest/lockfile checks;
 //!   deliberately *not* suppressible (an allowed external dependency is
 //!   a contradiction in terms here);
-//! * **cross-file schema lints** ([`trace_schema`]) — consistency
-//!   between the typed `TraceEvent` enum and the places that name its
-//!   kinds as strings; not suppressible either.
+//! * **cross-file schema lints** ([`trace_schema`], [`doc_sync`]) —
+//!   consistency between the typed `TraceEvent` enum and the places that
+//!   name its kinds as strings, and between the top-level docs and the
+//!   build targets/workloads they tell the reader to run; not
+//!   suppressible either.
 //!
 //! Adding a lint: write a `check` that pushes [`Diagnostic`]s, call it
 //! from [`run_all`], give it a unique name, document it in DESIGN.md §9,
@@ -19,6 +21,7 @@
 //! `crates/analyze/tests/lints.rs`.
 
 pub mod code;
+pub mod doc_sync;
 pub mod hermetic;
 pub mod trace_schema;
 
@@ -36,6 +39,7 @@ pub const ALL_LINTS: &[&str] = &[
     hermetic::HERMETIC_DEPS,
     hermetic::HERMETIC_LOCK,
     trace_schema::TRACE_SCHEMA,
+    doc_sync::DOC_SYNC,
 ];
 
 /// Runs the whole suite over a workspace. Returns all diagnostics —
@@ -56,6 +60,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     }
     hermetic::check(ws, &mut diags);
     trace_schema::check(ws, &mut diags);
+    doc_sync::check(ws, &mut diags);
     diag::sort(&mut diags);
     diags
 }

@@ -1,7 +1,7 @@
 //! Trace-schema sync lint: the event-kind *strings* scattered outside
 //! the typed enum must match the `TraceEvent` variants.
 //!
-//! Three checks:
+//! Four checks:
 //!
 //! 1. In `crates/obs/src/event.rs`, every `TraceEvent::Variant { .. } =>
 //!    "kind"` arm must map to the variant's snake_case (the compiler
@@ -11,6 +11,10 @@
 //!    `run`/`hist`/`counters` lines).
 //! 3. The usage example in `crates/bench/src/bin/tracecheck.rs` must
 //!    name real kinds.
+//! 4. The schema table in `DESIGN.md` ("Event schema" section) must
+//!    document every kind, and each row's backticked payload fields
+//!    must match — in order — the fields the `to_json()` arm actually
+//!    emits.
 //!
 //! Not suppressible: a mismatched kind string silently turns the CI
 //! trace gate into a tautology.
@@ -28,6 +32,8 @@ pub const EVENT_RS: &str = "crates/obs/src/event.rs";
 pub const CI_SH: &str = "scripts/ci.sh";
 /// The validator whose docs name kinds.
 pub const TRACECHECK_RS: &str = "crates/bench/src/bin/tracecheck.rs";
+/// The design document holding the event-schema table.
+pub const DESIGN_MD: &str = "DESIGN.md";
 
 /// JSONL line types produced by the artifact layer (`TraceLog::to_jsonl`
 /// emits `hist` and `counters`; `TraceCollector::record` emits `run`),
@@ -58,6 +64,182 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
     if let Some(tc) = ws.get(TRACECHECK_RS) {
         check_kind_words(&tc.rel_path, &tracecheck_args_docs(&tc.text), &kinds, out);
     }
+    if let Some(design) = ws.get(DESIGN_MD) {
+        check_design_table(&design.text, &emitter_fields(&event.text), out);
+    }
+}
+
+/// Extracts `(kind, payload fields)` per `TraceEvent::Variant { .. } =>
+/// Json::obj([..])` arm of `to_json()`, fields in emission order. The
+/// leading `kind` tuple is a plain ident, so only `("name", ...)` tuple
+/// openers inside the array contribute.
+fn emitter_fields(text: &str) -> Vec<(String, Vec<String>)> {
+    let s = scan(text);
+    let t = &s.tokens;
+    let mut out: Vec<(String, Vec<String>)> = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < t.len() {
+        let is_path = t[i].tok == Tok::Ident("TraceEvent".to_string())
+            && t[i + 1].tok == Tok::Punct(':')
+            && t[i + 2].tok == Tok::Punct(':');
+        if !is_path {
+            i += 1;
+            continue;
+        }
+        let Tok::Ident(variant) = t[i + 3].tok.clone() else {
+            i += 1;
+            continue;
+        };
+        let mut j = skip_braces(t, i + 4);
+        // Require `=> Json :: obj (`, then collect until the array closes.
+        let arm = t.get(j).map(|x| &x.tok) == Some(&Tok::Punct('='))
+            && t.get(j + 1).map(|x| &x.tok) == Some(&Tok::Punct('>'))
+            && t.get(j + 2).map(|x| &x.tok) == Some(&Tok::Ident("Json".to_string()))
+            && t.get(j + 5).map(|x| &x.tok) == Some(&Tok::Ident("obj".to_string()));
+        if arm {
+            j += 6;
+            let mut depth = 0i64;
+            let mut fields = Vec::new();
+            while j < t.len() {
+                match &t[j].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Tok::Str(name)
+                        if depth > 0 && t[j - 1].tok == Tok::Punct('(') && name != "type" =>
+                    {
+                        fields.push(name.clone());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            out.push((snake_case(&variant), fields));
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Advances past a balanced `{ ... }` starting at `j`, if one is there.
+fn skip_braces(t: &[crate::scan::Spanned], mut j: usize) -> usize {
+    if t.get(j).map(|x| &x.tok) != Some(&Tok::Punct('{')) {
+        return j;
+    }
+    let mut depth = 0i64;
+    while j < t.len() {
+        match t[j].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Verifies the DESIGN.md event-schema table against the emitter: every
+/// kind documented, every documented payload matching the emitted one.
+fn check_design_table(design: &str, emitted: &[(String, Vec<String>)], out: &mut Vec<Diagnostic>) {
+    let rows = design_rows(design);
+    if rows.is_empty() {
+        out.push(Diagnostic::new(
+            TRACE_SCHEMA,
+            DESIGN_MD,
+            1,
+            "no event-schema table rows found under an \"Event schema\" heading: the \
+             analyzer can no longer verify the documented payloads (was the section \
+             renamed?)",
+        ));
+        return;
+    }
+    for (kind, fields, line) in &rows {
+        match emitted.iter().find(|(k, _)| k == kind) {
+            None => out.push(Diagnostic::new(
+                TRACE_SCHEMA,
+                DESIGN_MD,
+                *line,
+                format!(
+                    "schema table documents event kind `{kind}`, which {EVENT_RS} does \
+                     not emit"
+                ),
+            )),
+            Some((_, want)) if fields != want => out.push(Diagnostic::new(
+                TRACE_SCHEMA,
+                DESIGN_MD,
+                *line,
+                format!(
+                    "payload fields documented for `{kind}` ({}) do not match the \
+                     emitter ({}): update the table or the `to_json()` arm together",
+                    fields.join(", "),
+                    want.join(", ")
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (kind, _) in emitted {
+        if !rows.iter().any(|(k, _, _)| k == kind) {
+            out.push(Diagnostic::new(
+                TRACE_SCHEMA,
+                DESIGN_MD,
+                1,
+                format!(
+                    "event kind `{kind}` is emitted by {EVENT_RS} but has no row in the \
+                     schema table"
+                ),
+            ));
+        }
+    }
+}
+
+/// `(kind, payload fields, line)` per table row in the "Event schema"
+/// section: first cell a single backticked kind, last cell's backticked
+/// identifiers the payload. Prose words in parentheses (and non-ident
+/// snippets like `"-"`) don't parse as fields.
+fn design_rows(text: &str) -> Vec<(String, Vec<String>, u32)> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') {
+            in_section = line.contains("Event schema");
+            continue;
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').collect();
+        if cells.len() < 3 {
+            continue;
+        }
+        let kind = backticked_idents(cells[0]);
+        if kind.len() != 1 || kind[0] == "type" {
+            continue; // header or separator row
+        }
+        let fields = backticked_idents(cells[cells.len() - 1]);
+        rows.push((kind[0].clone(), fields, i as u32 + 1));
+    }
+    rows
+}
+
+/// Backticked spans of a table cell that look like field identifiers.
+fn backticked_idents(cell: &str) -> Vec<String> {
+    cell.split('`')
+        .skip(1)
+        .step_by(2)
+        .filter(|w| is_kind_word(w))
+        .map(str::to_string)
+        .collect()
 }
 
 /// Extracts `(variant, kind, line)` triples from `kind()`-style match
@@ -331,6 +513,140 @@ mod tests {
         check(&w, &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("no longer verify"));
+    }
+
+    // A kind() plus a to_json() with a nested `match` payload and a
+    // string-valued field, to prove only tuple openers parse as fields.
+    const FAKE_EMITTER: &str = r#"
+        impl TraceEvent {
+            pub fn kind(&self) -> &'static str {
+                match self {
+                    TraceEvent::SwapBegin { .. } => "swap_begin",
+                    TraceEvent::RsmEpoch { .. } => "rsm_epoch",
+                }
+            }
+            pub fn to_json(&self) -> Json {
+                let kind = ("type", Json::Str(self.kind().to_string()));
+                match *self {
+                    TraceEvent::SwapBegin { at, group, demoted, reason } => Json::obj([
+                        kind,
+                        ("at", Json::UInt(at)),
+                        ("group", Json::UInt(group)),
+                        (
+                            "demoted",
+                            match demoted {
+                                Some(p) => Json::UInt(u64::from(p)),
+                                None => Json::Null,
+                            },
+                        ),
+                        ("reason", Json::Str(reason.to_string())),
+                    ]),
+                    TraceEvent::RsmEpoch { at, sf_a } => Json::obj([
+                        kind,
+                        ("at", Json::UInt(at)),
+                        ("sf_a", Json::Num(sf_a)),
+                    ]),
+                }
+            }
+        }
+    "#;
+
+    const FAKE_DESIGN: &str = "\
+### 8.1 Event schema
+
+| `type` | emitted when | payload |
+|---|---|---|
+| `swap_begin` | a swap is issued | `at`, `group`, `demoted` (null if vacant, `\"-\"` never), `reason` |
+| `rsm_epoch` | a period closes | `at`, `sf_a` |
+
+### 8.2 Other
+";
+
+    #[test]
+    fn emitter_fields_parse_tuple_openers_only() {
+        let f = emitter_fields(FAKE_EMITTER);
+        assert_eq!(
+            f,
+            vec![
+                (
+                    "swap_begin".to_string(),
+                    vec!["at", "group", "demoted", "reason"]
+                        .into_iter()
+                        .map(String::from)
+                        .collect()
+                ),
+                (
+                    "rsm_epoch".to_string(),
+                    vec!["at".to_string(), "sf_a".to_string()]
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn design_table_in_sync_passes() {
+        let w = ws(vec![(EVENT_RS, FAKE_EMITTER), (DESIGN_MD, FAKE_DESIGN)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn design_payload_mismatch_flagged() {
+        let drifted = FAKE_DESIGN.replace("`at`, `sf_a`", "`at`, `sf_a`, `sf_b`");
+        let w = ws(vec![(EVENT_RS, FAKE_EMITTER), (DESIGN_MD, &drifted)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("rsm_epoch"));
+        assert!(out[0].message.contains("do not match"));
+        assert_eq!(out[0].path, DESIGN_MD);
+    }
+
+    #[test]
+    fn undocumented_and_unknown_kinds_flagged() {
+        let missing_row: String = FAKE_DESIGN
+            .lines()
+            .filter(|l| !l.contains("rsm_epoch"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let w = ws(vec![(EVENT_RS, FAKE_EMITTER), (DESIGN_MD, &missing_row)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("no row in the schema table"));
+
+        let extra_row = FAKE_DESIGN.replace(
+            "### 8.2 Other",
+            "### 8.2 Other\n\n| `phantom_kind` | never | `at` |",
+        );
+        // Rows outside the Event schema section are ignored.
+        let w = ws(vec![(EVENT_RS, FAKE_EMITTER), (DESIGN_MD, &extra_row)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        let inline = FAKE_DESIGN.replace(
+            "| `rsm_epoch`",
+            "| `phantom_kind` | never | `at` |\n| `rsm_epoch`",
+        );
+        let w = ws(vec![(EVENT_RS, FAKE_EMITTER), (DESIGN_MD, &inline)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("phantom_kind"));
+        assert!(out[0].message.contains("does not emit"));
+    }
+
+    #[test]
+    fn missing_schema_table_reports() {
+        let w = ws(vec![
+            (EVENT_RS, FAKE_EMITTER),
+            (DESIGN_MD, "## 8. Observability\n\nprose only\n"),
+        ]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("no event-schema table rows"));
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub enum Role {
     Manifest,
     /// The `Cargo.lock`.
     Lockfile,
-    /// Anything else (docs, licenses); no lint applies.
+    /// Top-level project documentation (`*.md` at the workspace root) —
+    /// checked for drift against the code it describes.
+    Doc,
+    /// Anything else (licenses, assets); no lint applies.
     Other,
 }
 
@@ -42,6 +45,9 @@ impl Role {
         }
         if rel.starts_with("scripts/") && rel.ends_with(".sh") {
             return Role::Script;
+        }
+        if rel.ends_with(".md") && !rel.contains('/') {
+            return Role::Doc;
         }
         if !rel.ends_with(".rs") {
             return Role::Other;
@@ -195,7 +201,10 @@ mod tests {
             ("Cargo.toml", Role::Manifest),
             ("crates/obs/Cargo.toml", Role::Manifest),
             ("Cargo.lock", Role::Lockfile),
-            ("README.md", Role::Other),
+            ("README.md", Role::Doc),
+            ("DESIGN.md", Role::Doc),
+            ("crates/analyze/README.md", Role::Other),
+            ("LICENSE", Role::Other),
         ];
         for (path, want) in cases {
             assert_eq!(Role::classify(path), want, "{path}");

@@ -185,8 +185,38 @@ fn lint_list_is_complete() {
         "hermetic_deps",
         "hermetic_lock",
         "trace_schema",
+        "doc_sync",
     ] {
         assert!(lints::ALL_LINTS.contains(&lint), "{lint} not registered");
     }
-    assert_eq!(lints::ALL_LINTS.len(), 8);
+    assert_eq!(lints::ALL_LINTS.len(), 9);
+}
+
+#[test]
+fn doc_sync_positive_and_negative() {
+    let manifest = (
+        "crates/bench/Cargo.toml",
+        "[package]\nname = \"profess-bench\"\n",
+    );
+    let bin = ("crates/bench/src/bin/fig05.rs", "fn main() {}");
+    let ok = ("README.md", "cargo run -p profess-bench --bin fig05\n");
+    assert_eq!(active(&[manifest, bin, ok], "doc_sync"), 0);
+    // Immune to inline allows, like the other cross-file lints.
+    let bad = (
+        "README.md",
+        "<!-- profess: allow(doc_sync): nope -->\ncargo run -p profess-bench --bin fig99\n",
+    );
+    assert_eq!(active(&[manifest, bin, bad], "doc_sync"), 1);
+}
+
+#[test]
+fn hermetic_lock_cross_checks_members() {
+    let manifest = (
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"profess-core\"\n",
+    );
+    let stale = ("Cargo.lock", "version = 4\n");
+    assert_eq!(active(&[manifest, stale], "hermetic_lock"), 1);
+    let fresh = ("Cargo.lock", "[[package]]\nname = \"profess-core\"\n");
+    assert_eq!(active(&[manifest, fresh], "hermetic_lock"), 0);
 }

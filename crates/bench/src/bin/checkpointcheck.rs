@@ -1,0 +1,41 @@
+//! **checkpointcheck** — strict CI validator for sweep checkpoint
+//! journals (`CHECKPOINT_*.jsonl`).
+//!
+//! Usage: `checkpointcheck <journal.jsonl>...`
+//!
+//! Every line of every named file must be a well-formed journal entry
+//! — an object with a `key` string, a `payload`, and an `fp` string
+//! matching the payload's FNV-1a fingerprint. Where [`Journal::load`]
+//! is tolerant (a bad line just reruns its cell), CI is strict: a
+//! malformed line in a finished journal means the writer or the resume
+//! path regressed. Exits 0 and prints a per-file cell count on
+//! success; exits 1 with a diagnostic on the first invalid line.
+//!
+//! [`Journal::load`]: profess_bench::Journal::load
+
+use profess_bench::checkpoint::validate_file;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: checkpointcheck <journal.jsonl>...");
+        std::process::exit(2);
+    }
+    let mut total = 0usize;
+    for f in &files {
+        match validate_file(std::path::Path::new(f)) {
+            Ok(cells) => {
+                println!("{f}: ok ({cells} cells)");
+                total += cells;
+            }
+            Err(e) => {
+                eprintln!("checkpointcheck: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "checkpointcheck: {} file(s), {total} cells, all valid",
+        files.len()
+    );
+}

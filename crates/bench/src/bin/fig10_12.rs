@@ -8,53 +8,70 @@
 //! by 7% (up to 16% for w12), and energy efficiency by 7% (up to 26% for
 //! w18); w04/w05/w10/w15/w18 can be *less* fair than PoM since MDM
 //! ignores slowdowns, just like PoM.
+//!
+//! The sweep runs supervised: `PROFESS_CHECKPOINT` journals completed
+//! cells for kill-and-resume, `PROFESS_RETRIES` / `PROFESS_TASK_TIMEOUT_MS`
+//! bound recovery, and `PROFESS_FAULT` injects deterministic failures.
+//! Trailing workload-id arguments restrict the sweep to a subset.
 
 use profess_bench::harness::{BenchJson, TraceCollector};
 use profess_bench::{
-    init_trace_flag, normalized_sweep_traced, print_sweep, sweep_sim_count, target_from_args, Pool,
-    MULTI_TARGET_MISSES,
+    init_trace_flag, journal_from_env, normalized_sweep_supervised, print_sweep,
+    report_sweep_health, supervise_from_env, sweep_args, Pool, MULTI_TARGET_MISSES,
+    SWEEP_FAILURE_EXIT_CODE,
 };
 use profess_core::system::PolicyKind;
 use profess_types::SystemConfig;
 
 fn main() {
     init_trace_flag();
-    let target = target_from_args(MULTI_TARGET_MISSES);
+    let (target, workloads) = sweep_args(MULTI_TARGET_MISSES);
     let cfg = SystemConfig::scaled_quad();
+    let sup = supervise_from_env();
+    let journal = journal_from_env("fig10_12");
     let mut bench = BenchJson::start("fig10_12");
     let mut traces = TraceCollector::from_env("fig10_12");
-    let rows = normalized_sweep_traced(
+    let run = normalized_sweep_supervised(
         &Pool::from_env(),
         &cfg,
         PolicyKind::Mdm,
         target,
-        &profess_trace::workloads(),
+        &workloads,
+        &sup,
+        &journal,
         &mut traces,
     );
-    bench.add_ops(sweep_sim_count(
-        &[PolicyKind::Pom, PolicyKind::Mdm],
-        &profess_trace::workloads(),
-    ));
-    let (unf, ws, eff) = print_sweep(
-        "Figures 10-12: MDM normalized to PoM over the 19 workloads",
-        &rows,
-    );
-    println!();
-    println!(
-        "Paper: max slowdown -6% avg (ours {:+.1}%), weighted speedup +7% avg (ours {:+.1}%), energy efficiency +7% avg (ours {:+.1}%).",
-        (unf - 1.0) * 100.0,
-        (ws - 1.0) * 100.0,
-        (eff - 1.0) * 100.0
-    );
-    let mixed_fairness = rows.iter().any(|r| r.unfairness > 1.0);
-    println!(
-        "Some workloads less fair than PoM (expected, MDM ignores slowdowns): {}",
-        if mixed_fairness {
-            "yes, as in the paper"
-        } else {
-            "no"
-        }
-    );
+    bench.add_ops(run.executed() as u64);
+    bench.push_cells(&run.cells);
+    if !run.rows.is_empty() {
+        let (unf, ws, eff) = print_sweep(
+            &format!(
+                "Figures 10-12: MDM normalized to PoM over {} workload(s)",
+                run.rows.len()
+            ),
+            &run.rows,
+        );
+        println!();
+        println!(
+            "Paper: max slowdown -6% avg (ours {:+.1}%), weighted speedup +7% avg (ours {:+.1}%), energy efficiency +7% avg (ours {:+.1}%).",
+            (unf - 1.0) * 100.0,
+            (ws - 1.0) * 100.0,
+            (eff - 1.0) * 100.0
+        );
+        let mixed_fairness = run.rows.iter().any(|r| r.unfairness > 1.0);
+        println!(
+            "Some workloads less fair than PoM (expected, MDM ignores slowdowns): {}",
+            if mixed_fairness {
+                "yes, as in the paper"
+            } else {
+                "no"
+            }
+        );
+    }
+    let ok = report_sweep_health(&run);
     traces.finish();
     bench.finish();
+    if !ok {
+        std::process::exit(SWEEP_FAILURE_EXIT_CODE);
+    }
 }

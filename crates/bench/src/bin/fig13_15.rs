@@ -12,11 +12,16 @@
 //! The key *mechanism* check — printed at the end — compares ProFess
 //! against plain MDM: RSM guidance should improve fairness, weighted
 //! speedup and swap fraction relative to MDM on most workloads.
+//!
+//! Both sweeps run supervised and share one checkpoint journal
+//! (`PROFESS_CHECKPOINT`); see `fig10_12` for the resilience knobs.
+//! Trailing workload-id arguments restrict the sweeps to a subset.
 
 use profess_bench::harness::{BenchJson, TraceCollector};
 use profess_bench::{
-    init_trace_flag, normalized_sweep, normalized_sweep_traced, print_sweep, sweep_sim_count,
-    target_from_args, Pool, MULTI_TARGET_MISSES,
+    init_trace_flag, journal_from_env, normalized_sweep_supervised, print_sweep,
+    report_sweep_health, supervise_from_env, sweep_args, Pool, MULTI_TARGET_MISSES,
+    SWEEP_FAILURE_EXIT_CODE,
 };
 use profess_core::system::PolicyKind;
 use profess_metrics::geomean;
@@ -24,71 +29,101 @@ use profess_types::SystemConfig;
 
 fn main() {
     init_trace_flag();
-    let target = target_from_args(MULTI_TARGET_MISSES);
+    let (target, workloads) = sweep_args(MULTI_TARGET_MISSES);
     let cfg = SystemConfig::scaled_quad();
+    let sup = supervise_from_env();
+    let journal = journal_from_env("fig13_15");
+    let pool = Pool::from_env();
     let mut bench = BenchJson::start("fig13_15");
     let mut traces = TraceCollector::from_env("fig13_15");
-    let profess = normalized_sweep_traced(
-        &Pool::from_env(),
+    let run = normalized_sweep_supervised(
+        &pool,
         &cfg,
         PolicyKind::Profess,
         target,
-        &profess_trace::workloads(),
+        &workloads,
+        &sup,
+        &journal,
         &mut traces,
     );
-    bench.add_ops(sweep_sim_count(
-        &[PolicyKind::Pom, PolicyKind::Profess],
-        &profess_trace::workloads(),
-    ));
-    let (unf, ws, eff) = print_sweep(
-        "Figures 13-15: ProFess normalized to PoM over the 19 workloads",
-        &profess,
+    bench.add_ops(run.executed() as u64);
+    let profess = &run.rows;
+    if !profess.is_empty() {
+        let (unf, ws, eff) = print_sweep(
+            &format!(
+                "Figures 13-15: ProFess normalized to PoM over {} workload(s)",
+                profess.len()
+            ),
+            profess,
+        );
+        println!();
+        println!(
+            "Paper: fairness +15% avg (ours {:+.1}%), performance +12% avg (ours {:+.1}%), energy efficiency +11% avg (ours {:+.1}%).",
+            (1.0 - unf) * 100.0,
+            (ws - 1.0) * 100.0,
+            (eff - 1.0) * 100.0
+        );
+    }
+    // Mechanism check vs plain MDM, through the same journal (the keys
+    // differ by policy, so the two sweeps never collide). Untraced, as
+    // before supervision: the figure's trace artifact covers the
+    // ProFess sweep only.
+    let mut no_traces = TraceCollector::disabled();
+    let mdm_run = normalized_sweep_supervised(
+        &pool,
+        &cfg,
+        PolicyKind::Mdm,
+        target,
+        &workloads,
+        &sup,
+        &journal,
+        &mut no_traces,
     );
-    println!();
-    println!(
-        "Paper: fairness +15% avg (ours {:+.1}%), performance +12% avg (ours {:+.1}%), energy efficiency +11% avg (ours {:+.1}%).",
-        (1.0 - unf) * 100.0,
-        (ws - 1.0) * 100.0,
-        (eff - 1.0) * 100.0
-    );
-    // Mechanism check vs plain MDM.
-    let mdm = normalized_sweep(&cfg, PolicyKind::Mdm, target);
-    bench.add_ops(sweep_sim_count(
-        &[PolicyKind::Pom, PolicyKind::Mdm],
-        &profess_trace::workloads(),
-    ));
-    let rel = |a: &[f64], b: &[f64]| geomean(a) / geomean(b);
-    let unf_vs_mdm = rel(
-        &profess.iter().map(|r| r.unfairness).collect::<Vec<_>>(),
-        &mdm.iter().map(|r| r.unfairness).collect::<Vec<_>>(),
-    );
-    let ws_vs_mdm = rel(
-        &profess
-            .iter()
-            .map(|r| r.weighted_speedup)
-            .collect::<Vec<_>>(),
-        &mdm.iter().map(|r| r.weighted_speedup).collect::<Vec<_>>(),
-    );
-    let swap_vs_mdm = rel(
-        &profess.iter().map(|r| r.swap_fraction).collect::<Vec<_>>(),
-        &mdm.iter().map(|r| r.swap_fraction).collect::<Vec<_>>(),
-    );
-    println!();
-    println!("RSM mechanism (ProFess vs plain MDM, geomeans over workloads):");
-    println!(
-        "  max slowdown {:+.1}%  weighted speedup {:+.1}%  swap fraction {:+.1}%",
-        (unf_vs_mdm - 1.0) * 100.0,
-        (ws_vs_mdm - 1.0) * 100.0,
-        (swap_vs_mdm - 1.0) * 100.0
-    );
-    println!(
-        "  expected: slowdown and swaps down, speedup up -> {}",
-        if unf_vs_mdm < 1.0 && ws_vs_mdm > 1.0 && swap_vs_mdm < 1.0 {
-            "shape holds"
-        } else {
-            "shape PARTIALLY holds (see EXPERIMENTS.md)"
-        }
-    );
+    bench.add_ops(mdm_run.executed() as u64);
+    let mut cells = run.cells.clone();
+    cells.extend(mdm_run.cells.iter().cloned());
+    bench.push_cells(&cells);
+    let mdm = &mdm_run.rows;
+    if run.all_ok() && mdm_run.all_ok() {
+        let rel = |a: &[f64], b: &[f64]| geomean(a) / geomean(b);
+        let unf_vs_mdm = rel(
+            &profess.iter().map(|r| r.unfairness).collect::<Vec<_>>(),
+            &mdm.iter().map(|r| r.unfairness).collect::<Vec<_>>(),
+        );
+        let ws_vs_mdm = rel(
+            &profess
+                .iter()
+                .map(|r| r.weighted_speedup)
+                .collect::<Vec<_>>(),
+            &mdm.iter().map(|r| r.weighted_speedup).collect::<Vec<_>>(),
+        );
+        let swap_vs_mdm = rel(
+            &profess.iter().map(|r| r.swap_fraction).collect::<Vec<_>>(),
+            &mdm.iter().map(|r| r.swap_fraction).collect::<Vec<_>>(),
+        );
+        println!();
+        println!("RSM mechanism (ProFess vs plain MDM, geomeans over workloads):");
+        println!(
+            "  max slowdown {:+.1}%  weighted speedup {:+.1}%  swap fraction {:+.1}%",
+            (unf_vs_mdm - 1.0) * 100.0,
+            (ws_vs_mdm - 1.0) * 100.0,
+            (swap_vs_mdm - 1.0) * 100.0
+        );
+        println!(
+            "  expected: slowdown and swaps down, speedup up -> {}",
+            if unf_vs_mdm < 1.0 && ws_vs_mdm > 1.0 && swap_vs_mdm < 1.0 {
+                "shape holds"
+            } else {
+                "shape PARTIALLY holds (see EXPERIMENTS.md)"
+            }
+        );
+    } else {
+        eprintln!("mechanism check skipped: sweep incomplete");
+    }
+    let ok = report_sweep_health(&run) & report_sweep_health(&mdm_run);
     traces.finish();
     bench.finish();
+    if !ok {
+        std::process::exit(SWEEP_FAILURE_EXIT_CODE);
+    }
 }

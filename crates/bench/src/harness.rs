@@ -204,6 +204,7 @@ pub struct BenchJson {
     ops: u64,
     started: Instant,
     results: Vec<(String, BenchStats)>,
+    cells: Option<Vec<Json>>,
 }
 
 impl BenchJson {
@@ -216,6 +217,7 @@ impl BenchJson {
             ops: 0,
             started: Instant::now(),
             results: Vec::new(),
+            cells: None,
         }
     }
 
@@ -227,6 +229,38 @@ impl BenchJson {
     /// Attaches one [`Runner`] benchmark summary to the artifact.
     pub fn push_result(&mut self, bench: &str, stats: BenchStats) {
         self.results.push((bench.to_string(), stats));
+    }
+
+    /// Attaches a supervised sweep's per-cell execution records. The
+    /// artifact then carries a `"cells"` array — key, label, status,
+    /// attempts, full retry history, and the terminal error if any —
+    /// so a cell failure is inspectable from the JSON alone. Artifacts
+    /// without supervised cells are unchanged (no `"cells"` key).
+    pub fn push_cells(&mut self, cells: &[crate::CellRecord]) {
+        self.cells = Some(
+            cells
+                .iter()
+                .map(|c| {
+                    Json::obj([
+                        ("key", Json::Str(c.key.clone())),
+                        ("label", Json::Str(c.label.clone())),
+                        ("status", Json::Str(c.status.to_string())),
+                        ("attempts", Json::UInt(u64::from(c.attempts))),
+                        (
+                            "history",
+                            Json::Arr(c.history.iter().map(|h| Json::Str(h.clone())).collect()),
+                        ),
+                        (
+                            "error",
+                            match &c.error {
+                                Some(e) => Json::Str(e.clone()),
+                                None => Json::Null,
+                            },
+                        ),
+                    ])
+                })
+                .collect(),
+        );
     }
 
     /// Writes `BENCH_<name>.json` into [`results_dir`] and reports the
@@ -245,7 +279,7 @@ impl BenchJson {
         } else {
             0.0
         };
-        let json = Json::obj([
+        let mut pairs = vec![
             ("bench", Json::Str(self.name.clone())),
             ("threads", Json::UInt(self.threads as u64)),
             ("wall_seconds", Json::Num(wall)),
@@ -268,7 +302,11 @@ impl BenchJson {
                         .collect(),
                 ),
             ),
-        ]);
+        ];
+        if let Some(cells) = self.cells {
+            pairs.push(("cells", Json::Arr(cells)));
+        }
+        let json = Json::obj(pairs);
         let path = dir.join(format!("BENCH_{}.json", self.name));
         let io =
             std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json.to_string()));

@@ -11,14 +11,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod harness;
 
 use profess_core::system::{PolicyKind, SystemBuilder, SystemReport};
-use profess_metrics::{unfairness, weighted_speedup};
+use profess_metrics::{unfairness, weighted_speedup, Json};
 use profess_trace::{SpecProgram, Workload};
 use profess_types::SystemConfig;
 
-pub use profess_par::Pool;
+pub use checkpoint::{Journal, MultiCell};
+pub use profess_par::{FaultPlan, Pool, SuperviseConfig, TaskOutcome};
 
 /// Default memory operations per program for single-program experiments.
 pub const SOLO_TARGET_MISSES: u64 = 120_000;
@@ -74,6 +76,81 @@ pub fn workload_or_usage(id: &str) -> Workload {
             known.join(" ")
         ))
     })
+}
+
+/// Reads the supervision config (`PROFESS_RETRIES`,
+/// `PROFESS_TASK_TIMEOUT_MS`, `PROFESS_FAULT`) from the environment,
+/// reporting invalid values as usage errors (exit 2) instead of a
+/// panic backtrace.
+pub fn supervise_from_env() -> SuperviseConfig {
+    SuperviseConfig::from_env().unwrap_or_else(|e| usage_error(&e))
+}
+
+/// Opens the checkpoint journal selected by `PROFESS_CHECKPOINT` for
+/// sweep artifact `name`: unset, empty, or `0` yields a disabled
+/// journal; `1` journals to `CHECKPOINT_<name>.jsonl` in
+/// [`harness::results_dir`]; any other value names the journal
+/// directory. An unopenable journal is a usage error — silently
+/// running without the checkpointing the caller asked for would make
+/// a later kill unrecoverable.
+pub fn journal_from_env(name: &str) -> Journal {
+    let dir = match std::env::var(checkpoint::CHECKPOINT_ENV) {
+        Err(_) => return Journal::disabled(),
+        Ok(v) if v.is_empty() || v == "0" => return Journal::disabled(),
+        Ok(v) if v == "1" => harness::results_dir(),
+        Ok(v) => std::path::PathBuf::from(v),
+    };
+    let path = dir.join(format!("CHECKPOINT_{name}.jsonl"));
+    match Journal::load(&path) {
+        Ok(j) => {
+            println!(
+                "checkpoint journal: {} ({} cells replayed, {} lines dropped)",
+                path.display(),
+                j.loaded(),
+                j.rejected()
+            );
+            j
+        }
+        Err(e) => usage_error(&format!(
+            "cannot open checkpoint journal {}: {e}",
+            path.display()
+        )),
+    }
+}
+
+/// Parses the sweep binaries' shared CLI shape — `[--trace] [<target>]
+/// [<workload-id>...]` — into the memory-operation target and the
+/// workload subset. A numeric first non-flag argument is the target
+/// (else `PROFESS_TARGET`, else `default_target`); the remaining
+/// non-flag arguments select workloads (default: all Table 10
+/// workloads). Unknown ids are usage errors.
+pub fn sweep_args(default_target: u64) -> (u64, Vec<Workload>) {
+    let rest: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let env_target = || match std::env::var("PROFESS_TARGET") {
+        Ok(v) => match v.parse() {
+            Ok(t) => t,
+            Err(_) => usage_error(&format!(
+                "memory-operation target PROFESS_TARGET `{v}` is not an unsigned integer"
+            )),
+        },
+        Err(_) => default_target,
+    };
+    let (target, ids): (u64, &[String]) = match rest.split_first() {
+        Some((first, tail)) => match first.parse::<u64>() {
+            Ok(t) => (t, tail),
+            Err(_) => (env_target(), &rest[..]),
+        },
+        None => (env_target(), &rest[..]),
+    };
+    let workloads = if ids.is_empty() {
+        profess_trace::workloads().to_vec()
+    } else {
+        ids.iter().map(|id| workload_or_usage(id)).collect()
+    };
+    (target, workloads)
 }
 
 /// Handles the figure binaries' `--trace` flag: when present, sets
@@ -175,6 +252,32 @@ pub fn workload_metrics(id: &str, multi: &SystemReport, solo_ipcs: &[f64]) -> Wo
         energy_efficiency: multi.requests_per_joule,
         read_latency: multi.avg_read_latency_cycles,
         swap_fraction: multi.swap_fraction(),
+        slowdowns,
+    }
+}
+
+/// [`workload_metrics`] computed from a journaled [`MultiCell`] instead
+/// of a live report.
+///
+/// The supervised sweep routes *both* freshly-simulated and
+/// journal-restored cells through this function, so the floating-point
+/// arithmetic — and therefore the emitted rows — is identical whether a
+/// cell ran this process or was replayed from a checkpoint.
+pub fn workload_metrics_cell(id: &str, cell: &MultiCell, solo_ipcs: &[f64]) -> WorkloadMetrics {
+    assert_eq!(cell.ipcs.len(), solo_ipcs.len());
+    let slowdowns: Vec<f64> = cell
+        .ipcs
+        .iter()
+        .zip(solo_ipcs)
+        .map(|(&ipc, &sp)| profess_metrics::slowdown(sp, ipc))
+        .collect();
+    WorkloadMetrics {
+        id: id.to_string(),
+        weighted_speedup: weighted_speedup(&slowdowns),
+        unfairness: unfairness(&slowdowns),
+        energy_efficiency: cell.requests_per_joule,
+        read_latency: cell.avg_read_latency,
+        swap_fraction: cell.swap_fraction(),
         slowdowns,
     }
 }
@@ -315,6 +418,11 @@ pub fn normalized_sweep_on(
 /// run's trace into `traces` (labelled `<workload>:<policy>`). Runs are
 /// recorded in job order — workload order, PoM before `policy` — so the
 /// collected JSONL does not depend on the pool's thread count.
+///
+/// This is the unsupervised wrapper around
+/// [`normalized_sweep_supervised`]: one attempt per cell, no watchdog,
+/// no journal, and any cell failure aborts the sweep with a panic (the
+/// legacy contract).
 pub fn normalized_sweep_traced(
     pool: &Pool,
     cfg: &SystemConfig,
@@ -323,41 +431,367 @@ pub fn normalized_sweep_traced(
     workloads: &[Workload],
     traces: &mut harness::TraceCollector,
 ) -> Vec<NormalizedRow> {
-    let mut cache = SoloCache::new();
-    cache.warm(
+    let run = normalized_sweep_supervised(
         pool,
         cfg,
-        &[PolicyKind::Pom, policy],
-        workloads,
+        policy,
         target_misses,
+        workloads,
+        &strict_supervision(),
+        &Journal::disabled(),
+        traces,
     );
-    let jobs: Vec<(usize, PolicyKind)> = workloads
-        .iter()
-        .enumerate()
-        .flat_map(|(i, _)| [(i, PolicyKind::Pom), (i, policy)])
-        .collect();
-    let reports = pool.map(&jobs, |&(wi, pk)| {
-        run_workload(cfg, pk, &workloads[wi], target_misses)
+    if let Some(c) = run.failed_cells().first() {
+        let err = c.error.clone().unwrap_or_default();
+        // profess: allow(panic): the unsupervised sweep API keeps the legacy abort-on-failure contract
+        panic!("sweep cell {} failed: {err}", c.key);
+    }
+    run.rows
+}
+
+/// The supervision the legacy sweep wrappers use: a single attempt, no
+/// watchdog, no fault injection — failure semantics as close to
+/// [`Pool::map`] as per-cell isolation allows.
+fn strict_supervision() -> SuperviseConfig {
+    SuperviseConfig {
+        retries: 0,
+        timeout: None,
+        faults: FaultPlan::none(),
+    }
+}
+
+/// One cell of a normalized sweep.
+#[derive(Debug, Clone, Copy)]
+enum CellKind {
+    /// A solo (uncontended) reference run of one program.
+    Solo(PolicyKind, SpecProgram),
+    /// A multiprogram run of workload `workloads[i]`.
+    Multi(usize, PolicyKind),
+}
+
+/// A cell's identity: journal key, display label, and what to run.
+#[derive(Debug)]
+struct CellSpec {
+    key: String,
+    label: String,
+    kind: CellKind,
+}
+
+/// A completed cell's value. Fresh multiprogram cells keep their full
+/// report so traces can be recorded; journal-restored cells do not
+/// (traces only cover cells that actually ran this process).
+#[derive(Debug)]
+enum CellValue {
+    Solo(f64),
+    Multi(MultiCell, Option<SystemReport>),
+}
+
+fn encode_cell(v: &CellValue) -> Json {
+    match v {
+        CellValue::Solo(ipc) => Json::obj([("ipc", Json::Num(*ipc))]),
+        CellValue::Multi(cell, _) => cell.to_json(),
+    }
+}
+
+fn decode_cell(kind: CellKind, payload: &Json) -> Option<CellValue> {
+    match kind {
+        CellKind::Solo(..) => Some(CellValue::Solo(checkpoint::solo_ipc_from_json(payload)?)),
+        CellKind::Multi(..) => Some(CellValue::Multi(MultiCell::from_json(payload)?, None)),
+    }
+}
+
+/// One sweep cell's execution record, kept for the harness artifact.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// The cell's checkpoint-journal key.
+    pub key: String,
+    /// Display label (`w03:profess`, `solo:pom:mcf`).
+    pub label: String,
+    /// `cached`, `ok`, `panicked`, `timed_out`, or `exhausted`.
+    pub status: &'static str,
+    /// Attempts made (0 for journal-restored cells).
+    pub attempts: u32,
+    /// One line per failed attempt, in attempt order.
+    pub history: Vec<String>,
+    /// Terminal failure description, if the cell failed.
+    pub error: Option<String>,
+}
+
+/// Everything a supervised sweep produced.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// Normalized rows for every workload whose cells all succeeded, in
+    /// workload order.
+    pub rows: Vec<NormalizedRow>,
+    /// Per-cell execution records, in deterministic cell order (solo
+    /// references first, then per-workload multiprogram cells).
+    pub cells: Vec<CellRecord>,
+    /// Workload ids missing from `rows` because a required cell failed.
+    pub skipped: Vec<String>,
+    /// Cells restored from the checkpoint journal instead of running.
+    pub resumed: usize,
+}
+
+impl SweepRun {
+    /// Did every workload produce a row?
+    pub fn all_ok(&self) -> bool {
+        self.skipped.is_empty()
+    }
+
+    /// The cells with a terminal failure.
+    pub fn failed_cells(&self) -> Vec<&CellRecord> {
+        self.cells.iter().filter(|c| c.error.is_some()).collect()
+    }
+
+    /// Cells that actually ran this process (not journal-restored).
+    pub fn executed(&self) -> usize {
+        self.cells.len() - self.resumed
+    }
+}
+
+/// Exit status the figure binaries use when a supervised sweep ends
+/// with at least one terminally-failed cell (distinct from the usage
+/// error exit 2 and the fault-injected kill exit
+/// [`profess_par::FAULT_EXIT_CODE`]).
+pub const SWEEP_FAILURE_EXIT_CODE: i32 = 3;
+
+/// Prints a supervised sweep's resume and failure summary and returns
+/// whether every workload completed. The figure binaries exit with
+/// [`SWEEP_FAILURE_EXIT_CODE`] when this is false — after writing
+/// their artifacts, so the per-cell outcomes are still inspectable.
+pub fn report_sweep_health(run: &SweepRun) -> bool {
+    if run.resumed > 0 {
+        println!(
+            "checkpoint: {} cell(s) restored from journal, {} executed",
+            run.resumed,
+            run.executed()
+        );
+    }
+    for c in run.failed_cells() {
+        eprintln!(
+            "cell failed: {} [{}] after {} attempt(s): {}",
+            c.label,
+            c.status,
+            c.attempts,
+            c.error.as_deref().unwrap_or("unknown")
+        );
+        for h in &c.history {
+            eprintln!("  {h}");
+        }
+    }
+    if !run.all_ok() {
+        eprintln!("workloads without results: {}", run.skipped.join(" "));
+    }
+    run.all_ok()
+}
+
+/// Runs one solo cell under a cancel token. Simulator errors (budget,
+/// deadlock, cancellation) become panics so the supervisor classifies
+/// them per cell instead of the process dying.
+fn sim_solo(
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    prog: SpecProgram,
+    target_misses: u64,
+    cancel: &profess_par::CancelToken,
+) -> SystemReport {
+    SystemBuilder::new(cfg.clone())
+        .policy(policy)
+        .spec_program(prog, prog.budget_for_misses(target_misses))
+        .cancel_token(cancel.clone())
+        .try_run()
+        // profess: allow(panic): converts the typed SimError into a supervised per-cell failure
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Runs one multiprogram cell under a cancel token (see [`sim_solo`]).
+fn sim_workload(
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    w: &Workload,
+    target_misses: u64,
+    cancel: &profess_par::CancelToken,
+) -> SystemReport {
+    SystemBuilder::new(cfg.clone())
+        .policy(policy)
+        .workload(w, target_misses)
+        .cancel_token(cancel.clone())
+        .try_run()
+        // profess: allow(panic): converts the typed SimError into a supervised per-cell failure
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The supervised, checkpointable normalized sweep all `normalized_sweep*`
+/// entry points are built on.
+///
+/// The sweep decomposes into cells — deduplicated solo references (in
+/// [`SoloCache::warm`]'s order), then two multiprogram runs per
+/// workload, PoM before `policy`. Cells already present in `journal`
+/// (same key, valid fingerprint) are restored instead of re-run; the
+/// rest execute under [`Pool::run_supervised`] with `sup`'s retry /
+/// timeout / fault-injection settings, and each is journaled the moment
+/// it completes. Fault-plan indices refer to positions in the *pending*
+/// (not-yet-journaled) cell list.
+///
+/// Rows are assembled only for workloads whose four cell kinds all
+/// succeeded; the rest are listed in [`SweepRun::skipped`]. Both fresh
+/// and restored cells flow through [`workload_metrics_cell`], so a
+/// resumed sweep's rows are byte-identical to an uninterrupted run's.
+/// Traces are recorded in cell order for multiprogram cells that ran
+/// this process (restored cells have no trace to contribute).
+#[allow(clippy::too_many_arguments)]
+pub fn normalized_sweep_supervised(
+    pool: &Pool,
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    target_misses: u64,
+    workloads: &[Workload],
+    sup: &SuperviseConfig,
+    journal: &Journal,
+    traces: &mut harness::TraceCollector,
+) -> SweepRun {
+    let cfgfp = checkpoint::config_fingerprint(cfg, target_misses);
+    let policies = [PolicyKind::Pom, policy];
+    let mut specs: Vec<CellSpec> = Vec::new();
+    let mut seen: Vec<(&'static str, SpecProgram)> = Vec::new();
+    for &pk in &policies {
+        for w in workloads {
+            for &p in w.programs.iter() {
+                if !seen.contains(&(pk.name(), p)) {
+                    seen.push((pk.name(), p));
+                    specs.push(CellSpec {
+                        key: format!("solo|{}|{}|{}", pk.name(), p.name(), cfgfp),
+                        label: format!("solo:{}:{}", pk.name(), p.name()),
+                        kind: CellKind::Solo(pk, p),
+                    });
+                }
+            }
+        }
+    }
+    for (wi, w) in workloads.iter().enumerate() {
+        for &pk in &policies {
+            specs.push(CellSpec {
+                key: format!("multi|{}|{}|{}", pk.name(), w.id, cfgfp),
+                label: format!("{}:{}", w.id, pk.name()),
+                kind: CellKind::Multi(wi, pk),
+            });
+        }
+    }
+
+    // Replay the journal; only the remaining cells run.
+    let mut values: Vec<Option<CellValue>> = specs.iter().map(|_| None).collect();
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, s) in specs.iter().enumerate() {
+        match journal.lookup(&s.key).and_then(|p| decode_cell(s.kind, &p)) {
+            Some(v) => values[i] = Some(v),
+            None => pending.push(i),
+        }
+    }
+    let resumed = specs.len() - pending.len();
+
+    let outs = pool.run_supervised(&pending, sup, |ctx, &si| {
+        let spec = &specs[si];
+        let value = match spec.kind {
+            CellKind::Solo(pk, p) => {
+                CellValue::Solo(sim_solo(cfg, pk, p, target_misses, ctx.cancel).programs[0].ipc)
+            }
+            CellKind::Multi(wi, pk) => {
+                let report = sim_workload(cfg, pk, &workloads[wi], target_misses, ctx.cancel);
+                CellValue::Multi(MultiCell::from_report(&report), Some(report))
+            }
+        };
+        journal.record(&spec.key, encode_cell(&value));
+        value
     });
-    for (&(wi, pk), report) in jobs.iter().zip(&reports) {
-        traces.record(&format!("{}:{}", workloads[wi].id, pk.name()), report);
+
+    let mut cells: Vec<CellRecord> = specs
+        .iter()
+        .map(|s| CellRecord {
+            key: s.key.clone(),
+            label: s.label.clone(),
+            status: "cached",
+            attempts: 0,
+            history: Vec::new(),
+            error: None,
+        })
+        .collect();
+    for (&si, out) in pending.iter().zip(outs) {
+        let profess_par::Supervised {
+            outcome,
+            attempts,
+            history,
+        } = out;
+        let rec = &mut cells[si];
+        rec.status = outcome.label();
+        rec.attempts = attempts;
+        rec.history = history;
+        rec.error = outcome.error();
+        if let Some(v) = outcome.into_ok() {
+            values[si] = Some(v);
+        }
+    }
+
+    // Traces, in deterministic cell order (fresh multiprogram cells).
+    for (s, v) in specs.iter().zip(&values) {
+        if let Some(CellValue::Multi(_, Some(report))) = v {
+            traces.record(&s.label, report);
+        }
+    }
+
+    // Row assembly from the cell values alone.
+    let mut solo_map: std::collections::HashMap<(&'static str, SpecProgram), f64> =
+        std::collections::HashMap::new();
+    let mut multi_map: std::collections::HashMap<(usize, &'static str), &MultiCell> =
+        std::collections::HashMap::new();
+    for (s, v) in specs.iter().zip(&values) {
+        match (s.kind, v) {
+            (CellKind::Solo(pk, p), Some(CellValue::Solo(ipc))) => {
+                solo_map.insert((pk.name(), p), *ipc);
+            }
+            (CellKind::Multi(wi, pk), Some(CellValue::Multi(cell, _))) => {
+                multi_map.insert((wi, pk.name()), cell);
+            }
+            _ => {}
+        }
     }
     let mut rows = Vec::new();
-    for (i, w) in workloads.iter().enumerate() {
-        let base_solo = cache.solo_ipcs(cfg, PolicyKind::Pom, w, target_misses);
-        let base = workload_metrics(w.id, &reports[2 * i], &base_solo);
-        let solo = cache.solo_ipcs(cfg, policy, w, target_misses);
-        let m = workload_metrics(w.id, &reports[2 * i + 1], &solo);
-        rows.push(NormalizedRow {
-            id: w.id.to_string(),
-            unfairness: m.unfairness / base.unfairness,
-            weighted_speedup: m.weighted_speedup / base.weighted_speedup,
-            energy_efficiency: m.energy_efficiency / base.energy_efficiency,
-            read_latency: m.read_latency / base.read_latency,
-            swap_fraction: m.swap_fraction / base.swap_fraction.max(1e-12),
-        });
+    let mut skipped = Vec::new();
+    for (wi, w) in workloads.iter().enumerate() {
+        let row = (|| {
+            let base_cell = multi_map.get(&(wi, PolicyKind::Pom.name()))?;
+            let m_cell = multi_map.get(&(wi, policy.name()))?;
+            let base_solo: Vec<f64> = w
+                .programs
+                .iter()
+                .map(|p| solo_map.get(&(PolicyKind::Pom.name(), *p)).copied())
+                .collect::<Option<_>>()?;
+            let solo: Vec<f64> = w
+                .programs
+                .iter()
+                .map(|p| solo_map.get(&(policy.name(), *p)).copied())
+                .collect::<Option<_>>()?;
+            let base = workload_metrics_cell(w.id, base_cell, &base_solo);
+            let m = workload_metrics_cell(w.id, m_cell, &solo);
+            Some(NormalizedRow {
+                id: w.id.to_string(),
+                unfairness: m.unfairness / base.unfairness,
+                weighted_speedup: m.weighted_speedup / base.weighted_speedup,
+                energy_efficiency: m.energy_efficiency / base.energy_efficiency,
+                read_latency: m.read_latency / base.read_latency,
+                swap_fraction: m.swap_fraction / base.swap_fraction.max(1e-12),
+            })
+        })();
+        match row {
+            Some(r) => rows.push(r),
+            None => skipped.push(w.id.to_string()),
+        }
     }
-    rows
+    SweepRun {
+        rows,
+        cells,
+        skipped,
+        resumed,
+    }
 }
 
 /// Number of simulations a [`normalized_sweep_on`] call launches for

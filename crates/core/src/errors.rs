@@ -1,0 +1,201 @@
+//! The simulator's structured error taxonomy and run budgets.
+//!
+//! Historically [`System::run`](crate::system::SystemBuilder::run) had
+//! exactly two failure modes, both hostile to batch execution: a silent
+//! multi-minute crawl toward the 2-billion-cycle safety cap, and a
+//! deadlock `panic!` that took the whole sweep down with it. A
+//! [`SimBudget`] turns the first into a typed
+//! [`SimError::BudgetExceeded`], and
+//! [`try_run`](crate::system::SystemBuilder::try_run) turns the second
+//! into [`SimError::Deadlock`] — so a supervisor can classify, retry,
+//! or report per cell instead of aborting the batch.
+
+use profess_par::CancelToken;
+
+/// Which budgeted resource ran out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// Simulated channel cycles ([`SimBudget::max_cycles`]).
+    Cycles,
+    /// Served data requests ([`SimBudget::max_retired`]).
+    RetiredEvents,
+}
+
+impl BudgetResource {
+    /// Stable machine-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BudgetResource::Cycles => "cycles",
+            BudgetResource::RetiredEvents => "retired_events",
+        }
+    }
+}
+
+/// Hard resource limits for one simulation run. `None` = unlimited.
+///
+/// Unlike the legacy [`max_cycles`](crate::system::SystemBuilder::max_cycles)
+/// safety cap — which *truncates* the run and still produces a report
+/// flagged `truncated` — blowing a budget is an error: the run is
+/// abandoned and [`SimError::BudgetExceeded`] is returned, because a
+/// supervised sweep must not silently fold partial cells into results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimBudget {
+    /// Abort once the simulated clock passes this many cycles.
+    pub max_cycles: Option<u64>,
+    /// Abort once this many data requests have been served.
+    pub max_retired: Option<u64>,
+}
+
+impl SimBudget {
+    /// No limits (the default).
+    pub fn unlimited() -> SimBudget {
+        SimBudget::default()
+    }
+
+    /// Limits simulated cycles.
+    pub fn with_max_cycles(mut self, c: u64) -> SimBudget {
+        self.max_cycles = Some(c);
+        self
+    }
+
+    /// Limits served data requests.
+    pub fn with_max_retired(mut self, n: u64) -> SimBudget {
+        self.max_retired = Some(n);
+        self
+    }
+
+    /// Is any limit configured?
+    pub fn is_limited(&self) -> bool {
+        self.max_cycles.is_some() || self.max_retired.is_some()
+    }
+}
+
+/// Why a simulation run failed to produce a report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A [`SimBudget`] limit was hit.
+    BudgetExceeded {
+        /// The exhausted resource.
+        resource: BudgetResource,
+        /// The configured limit.
+        limit: u64,
+        /// Simulated cycle at which the limit was detected.
+        at_cycle: u64,
+    },
+    /// No component has a next event: the simulation can never finish.
+    Deadlock {
+        /// Simulated cycle of the deadlock.
+        cycle: u64,
+        /// Swap groups with an in-flight ST fetch.
+        pending_st: usize,
+        /// Outstanding request tokens.
+        tokens: usize,
+    },
+    /// The run's [`CancelToken`] fired (watchdog timeout or shutdown).
+    Cancelled {
+        /// Simulated cycle at which cancellation was observed.
+        cycle: u64,
+    },
+}
+
+impl SimError {
+    /// Stable machine-readable label (`budget_exceeded`, `deadlock`,
+    /// `cancelled`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SimError::BudgetExceeded { .. } => "budget_exceeded",
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BudgetExceeded {
+                resource,
+                limit,
+                at_cycle,
+            } => write!(
+                f,
+                "simulation exceeded its {} budget of {limit} at cycle {at_cycle}",
+                resource.label()
+            ),
+            // Keeps the exact wording of the historical deadlock assert,
+            // which the legacy `run()` entry point re-panics with.
+            SimError::Deadlock {
+                cycle,
+                pending_st,
+                tokens,
+            } => write!(
+                f,
+                "simulation deadlock at cycle {cycle} (pending ST: {pending_st}, tokens: {tokens})"
+            ),
+            SimError::Cancelled { cycle } => {
+                write!(f, "simulation cancelled at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The supervision hooks a run threads through its main loop: the
+/// budget and an optional cooperative cancellation token.
+#[derive(Debug, Clone, Default)]
+pub struct RunLimits {
+    /// Resource budget.
+    pub budget: SimBudget,
+    /// Polled each loop step; firing it yields [`SimError::Cancelled`].
+    pub cancel: Option<CancelToken>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_builders() {
+        let b = SimBudget::unlimited();
+        assert!(!b.is_limited());
+        let b = SimBudget::unlimited()
+            .with_max_cycles(1_000)
+            .with_max_retired(50);
+        assert_eq!(b.max_cycles, Some(1_000));
+        assert_eq!(b.max_retired, Some(50));
+        assert!(b.is_limited());
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = SimError::BudgetExceeded {
+            resource: BudgetResource::Cycles,
+            limit: 10,
+            at_cycle: 11,
+        };
+        assert_eq!(
+            e.to_string(),
+            "simulation exceeded its cycles budget of 10 at cycle 11"
+        );
+        assert_eq!(e.label(), "budget_exceeded");
+        let d = SimError::Deadlock {
+            cycle: 7,
+            pending_st: 2,
+            tokens: 3,
+        };
+        assert_eq!(
+            d.to_string(),
+            "simulation deadlock at cycle 7 (pending ST: 2, tokens: 3)"
+        );
+        let c = SimError::Cancelled { cycle: 5 };
+        assert_eq!(c.to_string(), "simulation cancelled at cycle 5");
+        assert_eq!(c.label(), "cancelled");
+    }
+
+    #[test]
+    fn resource_labels() {
+        assert_eq!(BudgetResource::Cycles.label(), "cycles");
+        assert_eq!(BudgetResource::RetiredEvents.label(), "retired_events");
+    }
+}

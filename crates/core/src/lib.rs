@@ -29,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod alloc;
+pub mod errors;
 pub mod flat;
 pub mod org;
 pub mod policies;
@@ -36,6 +37,7 @@ pub mod regions;
 pub mod stc;
 pub mod system;
 
+pub use errors::{BudgetResource, SimBudget, SimError};
 pub use flat::{FlatPageTable, TokenRing};
 pub use org::{StEntry, SwapTable};
 pub use policies::{Decision, MigrationPolicy};

@@ -34,6 +34,7 @@ use profess_types::ids::{ProgramId, SlotIdx};
 use profess_types::{Cycle, GroupId};
 
 use crate::alloc::FrameAllocator;
+use crate::errors::{BudgetResource, RunLimits, SimBudget, SimError};
 use crate::flat::{FlatPageTable, TokenRing};
 use crate::org::{qac, SwapTable};
 use crate::policies::cameo::CameoPolicy;
@@ -205,6 +206,7 @@ pub struct SystemBuilder {
     max_cycles: u64,
     sample_regions: bool,
     trace: TraceConfig,
+    limits: RunLimits,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -227,6 +229,7 @@ impl SystemBuilder {
             max_cycles: 2_000_000_000,
             sample_regions: false,
             trace: TraceConfig::from_env(),
+            limits: RunLimits::default(),
         }
     }
 
@@ -262,6 +265,24 @@ impl SystemBuilder {
     /// Caps simulated cycles (safety net; the report flags truncation).
     pub fn max_cycles(mut self, c: u64) -> Self {
         self.max_cycles = c;
+        self
+    }
+
+    /// Sets a hard resource budget. Unlike [`SystemBuilder::max_cycles`]
+    /// (which truncates the run and still reports), blowing a budget
+    /// aborts the run with [`SimError::BudgetExceeded`] — use
+    /// [`SystemBuilder::try_run`] to observe it.
+    pub fn budget(mut self, b: SimBudget) -> Self {
+        self.limits.budget = b;
+        self
+    }
+
+    /// Installs a cooperative cancellation token, polled once per main
+    /// loop step; firing it makes [`SystemBuilder::try_run`] return
+    /// [`SimError::Cancelled`] promptly instead of running to
+    /// completion.
+    pub fn cancel_token(mut self, t: profess_par::CancelToken) -> Self {
+        self.limits.cancel = Some(t);
         self
     }
 
@@ -309,8 +330,27 @@ impl SystemBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if no programs were added or more programs than cores.
+    /// Panics if no programs were added or more programs than cores —
+    /// and, preserving the historical behaviour of this entry point, on
+    /// any [`SimError`] (deadlock, exceeded budget, cancellation). Use
+    /// [`SystemBuilder::try_run`] to handle those as values.
     pub fn run(self) -> SystemReport {
+        match self.try_run() {
+            Ok(r) => r,
+            // profess: allow(panic): legacy entry point keeps the historical abort-on-deadlock contract
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the simulation to completion, returning [`SimError`] for
+    /// deadlock, budget exhaustion, or cancellation instead of
+    /// panicking or silently crawling to the safety cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no programs were added or more programs than cores
+    /// (configuration bugs, not runtime failures).
+    pub fn try_run(self) -> Result<SystemReport, SimError> {
         assert!(!self.programs.is_empty(), "no programs configured");
         assert!(
             self.programs.len() <= self.cfg.cpu.num_cores,
@@ -427,6 +467,8 @@ struct System {
     clock: Cycle,
     max_cycles: u64,
     truncated: bool,
+    limits: RunLimits,
+    retired: u64,
     // Event tracing (off by default). `tracing` mirrors
     // `tracer.is_on()` so hot paths branch on a plain bool; `trace_rsm`
     // is a shadow RSM run only when tracing under a policy without its
@@ -554,6 +596,8 @@ impl System {
             clock: Cycle::ZERO,
             max_cycles: b.max_cycles,
             truncated: false,
+            limits: b.limits,
+            retired: 0,
             tracing,
             trace_cfg,
             tracer: Tracer::new(&trace_cfg),
@@ -803,6 +847,7 @@ impl System {
                 from_m1,
             } => {
                 let program = ProgramId(core as u8);
+                self.retired += 1;
                 {
                     let st = &mut self.core_stats[core];
                     st.served += 1;
@@ -963,10 +1008,20 @@ impl System {
         self.first_done.iter().all(|d| d.is_some())
     }
 
-    fn run(mut self) -> SystemReport {
+    fn run(mut self) -> Result<SystemReport, SimError> {
         let mut served_buf: Vec<Served> = Vec::new();
         let mut out_reqs: Vec<CoreRequest> = Vec::new();
         loop {
+            // 0. Supervision: cooperative cancellation is observed at
+            // step granularity (one atomic load; the step itself does
+            // orders of magnitude more work).
+            if let Some(token) = &self.limits.cancel {
+                if token.is_cancelled() {
+                    return Err(SimError::Cancelled {
+                        cycle: self.clock.raw(),
+                    });
+                }
+            }
             // 1. Due or mutated channels catch up; completions collected.
             // Skipped channels are exactly those for which advance would
             // be a no-op (`next_event` contract), so the served stream is
@@ -983,6 +1038,15 @@ impl System {
             }
             for s in served_buf.drain(..) {
                 self.handle_served(s);
+            }
+            if let Some(max) = self.limits.budget.max_retired {
+                if self.retired > max {
+                    return Err(SimError::BudgetExceeded {
+                        resource: BudgetResource::RetiredEvents,
+                        limit: max,
+                        at_cycle: self.clock.raw(),
+                    });
+                }
             }
             // 2. Interval-based policies.
             self.run_poll();
@@ -1038,14 +1102,23 @@ impl System {
             if let Some(p) = self.policy.next_poll() {
                 t = t.min(p.max(self.clock + 1));
             }
-            assert!(
-                t < Cycle::NEVER,
-                "simulation deadlock at cycle {} (pending ST: {}, tokens: {})",
-                self.clock,
-                self.pending_st.len(),
-                self.meta.len()
-            );
+            if t >= Cycle::NEVER {
+                return Err(SimError::Deadlock {
+                    cycle: self.clock.raw(),
+                    pending_st: self.pending_st.len(),
+                    tokens: self.meta.len(),
+                });
+            }
             self.clock = t;
+            if let Some(max) = self.limits.budget.max_cycles {
+                if self.clock.raw() > max {
+                    return Err(SimError::BudgetExceeded {
+                        resource: BudgetResource::Cycles,
+                        limit: max,
+                        at_cycle: self.clock.raw(),
+                    });
+                }
+            }
             if self.clock.raw() > self.max_cycles {
                 self.truncated = true;
                 eprintln!(
@@ -1081,7 +1154,7 @@ impl System {
                 ch.catch_up_refresh(self.clock);
             }
         }
-        self.report()
+        Ok(self.report())
     }
 
     fn report(mut self) -> SystemReport {
@@ -1508,6 +1581,97 @@ mod tests {
                 "unexpected verdict {v}"
             );
         }
+    }
+
+    #[test]
+    fn cycle_budget_exceeded_is_typed() {
+        let err = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Static)
+            .budget(SimBudget::unlimited().with_max_cycles(500))
+            .program("stream", scripted_stream(20_000, 1, 30))
+            .try_run()
+            .expect_err("500 cycles cannot finish 20k ops");
+        match err {
+            SimError::BudgetExceeded {
+                resource: BudgetResource::Cycles,
+                limit: 500,
+                at_cycle,
+            } => assert!(at_cycle > 500),
+            e => panic!("expected cycle budget error, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn retired_budget_exceeded_is_typed() {
+        let err = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Static)
+            .budget(SimBudget::unlimited().with_max_retired(100))
+            .program("stream", scripted_stream(20_000, 1, 30))
+            .try_run()
+            .expect_err("100 retired requests cannot finish 20k ops");
+        assert!(
+            matches!(
+                err,
+                SimError::BudgetExceeded {
+                    resource: BudgetResource::RetiredEvents,
+                    limit: 100,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn pre_fired_cancel_token_stops_immediately() {
+        let token = profess_par::CancelToken::new();
+        token.cancel();
+        let err = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Static)
+            .cancel_token(token)
+            .program("stream", scripted_stream(20_000, 1, 30))
+            .try_run()
+            .expect_err("cancelled before the first step");
+        assert_eq!(err, SimError::Cancelled { cycle: 0 });
+    }
+
+    #[test]
+    fn try_run_report_matches_run() {
+        let a = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Mdm)
+            .program("stream", scripted_stream(2000, 1, 30))
+            .try_run()
+            .expect("completes");
+        let b = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Mdm)
+            .program("stream", scripted_stream(2000, 1, 30))
+            .run();
+        assert_eq!(a.elapsed_cycles, b.elapsed_cycles);
+        assert_eq!(a.total_served, b.total_served);
+        assert_eq!(a.swaps, b.swaps);
+        assert_eq!(a.programs[0].ipc, b.programs[0].ipc);
+    }
+
+    #[test]
+    fn unbudgeted_run_is_unaffected_by_generous_budget() {
+        // A budget above the run's needs must not perturb the result.
+        let free = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Pom)
+            .program("stream", scripted_stream(2000, 1, 30))
+            .run();
+        let budgeted = SystemBuilder::new(tiny_cfg())
+            .policy(PolicyKind::Pom)
+            .budget(
+                SimBudget::unlimited()
+                    .with_max_cycles(u64::MAX)
+                    .with_max_retired(u64::MAX),
+            )
+            .program("stream", scripted_stream(2000, 1, 30))
+            .try_run()
+            .expect("completes");
+        assert_eq!(free.elapsed_cycles, budgeted.elapsed_cycles);
+        assert_eq!(free.total_served, budgeted.total_served);
+        assert_eq!(free.swaps, budgeted.swaps);
     }
 
     #[test]

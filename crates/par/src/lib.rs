@@ -18,6 +18,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod supervise;
+
+pub use supervise::{
+    CancelToken, Fault, FaultKind, FaultPlan, SuperviseConfig, Supervised, TaskCtx, TaskOutcome,
+    FAULT_ENV, FAULT_EXIT_CODE, RETRIES_ENV, TIMEOUT_ENV,
+};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The environment variable controlling the default worker count.

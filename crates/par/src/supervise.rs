@@ -1,0 +1,731 @@
+//! Supervised task execution: per-task fault isolation, bounded
+//! deterministic retries, cooperative timeouts, and fault injection.
+//!
+//! [`Pool::map`](crate::Pool::map) is all-or-nothing: one worker panic
+//! aborts the whole batch via `resume_unwind`, and a hung task stalls
+//! the pool forever. [`Pool::run_supervised`](crate::Pool::run_supervised)
+//! instead wraps every attempt in `catch_unwind` and returns a
+//! [`TaskOutcome`] per input slot, so one bad cell cannot take down a
+//! sweep of hundreds.
+//!
+//! Determinism contract: supervision never feeds wall time or attempt
+//! counts into a task's *result* — a task that succeeds returns exactly
+//! the bytes it would have returned under [`Pool::map`](crate::Pool::map).
+//! The wall clock is read only by the watchdog, and only to decide when
+//! to fire a [`CancelToken`]; timeouts are opt-in and off by default.
+//!
+//! Fault injection ([`FaultPlan`], `PROFESS_FAULT`) deterministically
+//! targets task *indices*, so every recovery path (panic, stall, kill)
+//! is exercisable from tests and CI without touching the task code.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::Pool;
+
+/// Env var holding a [`FaultPlan`] spec (see [`FaultPlan::parse`]).
+pub const FAULT_ENV: &str = "PROFESS_FAULT";
+/// Env var overriding [`SuperviseConfig::retries`].
+pub const RETRIES_ENV: &str = "PROFESS_RETRIES";
+/// Env var overriding [`SuperviseConfig::timeout`], in milliseconds
+/// (`0` disables the watchdog).
+pub const TIMEOUT_ENV: &str = "PROFESS_TASK_TIMEOUT_MS";
+
+/// The process exit code used by the `exit` fault kind (a deterministic
+/// stand-in for `kill -9` in resume tests).
+pub const FAULT_EXIT_CODE: i32 = 86;
+
+/// A shared cancellation flag polled cooperatively by long-running
+/// tasks. Cloning yields another handle to the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has [`CancelToken::cancel`] been called on any handle?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// What finally happened to one supervised task slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskOutcome<R> {
+    /// The task returned a value (possibly after retries).
+    Ok(R),
+    /// The task panicked and no retries were configured.
+    Panicked {
+        /// The panic payload, rendered as text.
+        msg: String,
+    },
+    /// The task's watchdog deadline fired and no retries were
+    /// configured.
+    TimedOut,
+    /// Every allowed attempt failed.
+    Exhausted {
+        /// Total attempts made (`retries + 1`).
+        attempts: u32,
+        /// Description of the final failure.
+        last_error: String,
+    },
+}
+
+impl<R> TaskOutcome<R> {
+    /// Did the task produce a value?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TaskOutcome::Ok(_))
+    }
+
+    /// The value, if [`TaskOutcome::Ok`].
+    pub fn ok_ref(&self) -> Option<&R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its value, if any.
+    pub fn into_ok(self) -> Option<R> {
+        match self {
+            TaskOutcome::Ok(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// A stable machine-readable label (`ok`, `panicked`, `timed_out`,
+    /// `exhausted`) for JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TaskOutcome::Ok(_) => "ok",
+            TaskOutcome::Panicked { .. } => "panicked",
+            TaskOutcome::TimedOut => "timed_out",
+            TaskOutcome::Exhausted { .. } => "exhausted",
+        }
+    }
+
+    /// A one-line human description of a failure (`None` for `Ok`).
+    pub fn error(&self) -> Option<String> {
+        match self {
+            TaskOutcome::Ok(_) => None,
+            TaskOutcome::Panicked { msg } => Some(format!("panicked: {msg}")),
+            TaskOutcome::TimedOut => Some("timed out".to_string()),
+            TaskOutcome::Exhausted {
+                attempts,
+                last_error,
+            } => Some(format!("exhausted after {attempts} attempts: {last_error}")),
+        }
+    }
+}
+
+/// One supervised slot: the outcome plus its full retry history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Supervised<R> {
+    /// Final outcome for this input slot.
+    pub outcome: TaskOutcome<R>,
+    /// Attempts actually made (1 when the first try succeeded).
+    pub attempts: u32,
+    /// One line per *failed* attempt, in attempt order (empty when the
+    /// first try succeeded).
+    pub history: Vec<String>,
+}
+
+/// Per-attempt context handed to a supervised task.
+#[derive(Debug)]
+pub struct TaskCtx<'a> {
+    /// The input slot index (position in the `items` slice).
+    pub index: usize,
+    /// 1-based attempt number. Tasks must not let this affect their
+    /// result — it exists for logging and fault injection only.
+    pub attempt: u32,
+    /// Cooperative cancellation flag; long-running tasks should poll it
+    /// and bail out promptly once fired.
+    pub cancel: &'a CancelToken,
+}
+
+/// Which failure a [`Fault`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at attempt start.
+    Panic,
+    /// Busy-wait until the watchdog cancels, then abort the attempt
+    /// (classified as a timeout). Requires a configured timeout,
+    /// otherwise the task genuinely hangs — which is the point.
+    Stall,
+    /// Terminate the whole process with [`FAULT_EXIT_CODE`], simulating
+    /// an external kill for checkpoint/resume tests.
+    Exit,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "stall" => Some(FaultKind::Stall),
+            "exit" => Some(FaultKind::Exit),
+            _ => None,
+        }
+    }
+}
+
+/// One injected fault: `kind` fires on task `index` for the first
+/// `times` attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The failure to inject.
+    pub kind: FaultKind,
+    /// The task slot it targets.
+    pub index: usize,
+    /// How many attempts it poisons (attempts beyond this succeed).
+    pub times: u32,
+}
+
+/// A deterministic fault-injection schedule, keyed by task index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Is this the empty plan?
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parses a spec: comma-separated `kind@index[*times]` entries,
+    /// e.g. `panic@3`, `panic@0*2,stall@5`, `exit@7`. Kinds are
+    /// `panic`, `stall`, `exit`; `times` defaults to 1. An empty spec
+    /// is the empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (kind_s, rest) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault `{entry}`: expected kind@index[*times]"))?;
+            let kind = FaultKind::parse(kind_s)
+                .ok_or_else(|| format!("fault `{entry}`: unknown kind `{kind_s}`"))?;
+            let (index_s, times_s) = match rest.split_once('*') {
+                Some((i, t)) => (i, Some(t)),
+                None => (rest, None),
+            };
+            let index = index_s
+                .parse::<usize>()
+                .map_err(|_| format!("fault `{entry}`: bad index `{index_s}`"))?;
+            let times = match times_s {
+                Some(t) => t
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("fault `{entry}`: bad times `{t}`"))?,
+                None => 1,
+            };
+            faults.push(Fault { kind, index, times });
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// Reads the plan from `PROFESS_FAULT` (empty plan when unset).
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var(FAULT_ENV) {
+            Ok(spec) => FaultPlan::parse(&spec),
+            Err(_) => Ok(FaultPlan::none()),
+        }
+    }
+
+    /// Fires any fault scheduled for (`index`, `attempt`). Called at
+    /// attempt start, inside the catch_unwind boundary.
+    fn trigger(&self, index: usize, attempt: u32, cancel: &CancelToken) {
+        for f in &self.faults {
+            if f.index != index || attempt > f.times {
+                continue;
+            }
+            match f.kind {
+                FaultKind::Panic => {
+                    // profess: allow(panic): the entire purpose of the injected fault
+                    panic!("injected fault: panic (task {index}, attempt {attempt})")
+                }
+                FaultKind::Stall => {
+                    while !cancel.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    // profess: allow(panic): unwinds the stalled attempt once cancelled
+                    panic!("injected fault: stall (task {index}, attempt {attempt})")
+                }
+                FaultKind::Exit => std::process::exit(FAULT_EXIT_CODE),
+            }
+        }
+    }
+}
+
+/// Configuration for [`Pool::run_supervised`](crate::Pool::run_supervised).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperviseConfig {
+    /// Extra attempts after a failed one (total attempts = retries + 1).
+    pub retries: u32,
+    /// Per-attempt watchdog deadline. `None` disables the watchdog (no
+    /// wall-clock reads at all).
+    pub timeout: Option<Duration>,
+    /// Deterministic fault injection schedule.
+    pub faults: FaultPlan,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> SuperviseConfig {
+        SuperviseConfig {
+            retries: 1,
+            timeout: None,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl SuperviseConfig {
+    /// The default config overridden by `PROFESS_RETRIES`,
+    /// `PROFESS_TASK_TIMEOUT_MS` (0 = no watchdog), and
+    /// `PROFESS_FAULT`. Invalid values are an error, not a silent
+    /// default: a typo'd fault plan must not quietly run fault-free.
+    pub fn from_env() -> Result<SuperviseConfig, String> {
+        let mut cfg = SuperviseConfig::default();
+        if let Ok(v) = std::env::var(RETRIES_ENV) {
+            cfg.retries = v
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| format!("{RETRIES_ENV}={v}: expected a non-negative integer"))?;
+        }
+        if let Ok(v) = std::env::var(TIMEOUT_ENV) {
+            let ms = v
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("{TIMEOUT_ENV}={v}: expected milliseconds"))?;
+            cfg.timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        cfg.faults = FaultPlan::from_env()?;
+        Ok(cfg)
+    }
+}
+
+/// A task currently running under the watchdog.
+#[derive(Debug)]
+struct Inflight {
+    deadline: Instant,
+    token: CancelToken,
+}
+
+/// Locks a registry slot, shrugging off poison (the guarded state is a
+/// plain `Option` that is always valid).
+fn lock_slot(slot: &Mutex<Option<Inflight>>) -> std::sync::MutexGuard<'_, Option<Inflight>> {
+    slot.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Pool {
+    /// Applies `f` to every item under supervision and returns one
+    /// [`Supervised`] per input slot, in input order.
+    ///
+    /// Unlike [`Pool::map`], a panicking task does not abort the batch:
+    /// each attempt runs under `catch_unwind`, failed attempts retry up
+    /// to `cfg.retries` times, and a per-attempt watchdog (when
+    /// `cfg.timeout` is set) fires the attempt's [`CancelToken`] so
+    /// cooperative tasks can bail out. Successful results are
+    /// byte-identical to what [`Pool::map`] would have produced.
+    pub fn run_supervised<T, R, F>(
+        &self,
+        items: &[T],
+        cfg: &SuperviseConfig,
+        f: F,
+    ) -> Vec<Supervised<R>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(TaskCtx<'_>, &T) -> R + Sync,
+    {
+        let f = &f;
+        let workers = self.threads().min(items.len());
+        // Serial fast path: no watchdog needed, run in the caller.
+        if workers <= 1 && cfg.timeout.is_none() {
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| supervise_one(i, item, cfg, None, f))
+                .collect();
+        }
+        let workers = workers.max(1);
+        let cursor = AtomicUsize::new(0);
+        let all_done = AtomicBool::new(false);
+        let registry: Vec<Mutex<Option<Inflight>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
+        let (cursor, all_done, registry) = (&cursor, &all_done, &registry);
+
+        let mut slots: Vec<Option<Supervised<R>>> = Vec::with_capacity(items.len());
+        slots.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            let watchdog = cfg.timeout.map(|_| {
+                scope.spawn(move || {
+                    while !all_done.load(Ordering::Acquire) {
+                        for slot in registry {
+                            let guard = lock_slot(slot);
+                            if let Some(inflight) = guard.as_ref() {
+                                if Instant::now() >= inflight.deadline {
+                                    inflight.token.cancel();
+                                }
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                })
+            });
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, Supervised<R>)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                return done;
+                            }
+                            let reg = cfg.timeout.is_some().then(|| &registry[w]);
+                            done.push((i, supervise_one(i, &items[i], cfg, reg, f)));
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(pairs) => {
+                        for (i, r) in pairs {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    // Workers only run caught code; a panic here is a
+                    // supervisor bug and must stay loud.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            all_done.store(true, Ordering::Release);
+            if let Some(w) = watchdog {
+                let _ = w.join();
+            }
+        });
+        slots
+            .into_iter()
+            // profess: allow(panic): the atomic index counter hands out each slot exactly once
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect()
+    }
+}
+
+/// Runs one slot to completion: attempt, classify, retry, conclude.
+fn supervise_one<T, R, F>(
+    index: usize,
+    item: &T,
+    cfg: &SuperviseConfig,
+    registry: Option<&Mutex<Option<Inflight>>>,
+    f: &F,
+) -> Supervised<R>
+where
+    F: Fn(TaskCtx<'_>, &T) -> R,
+{
+    let mut history = Vec::new();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let token = CancelToken::new();
+        if let (Some(slot), Some(timeout)) = (registry, cfg.timeout) {
+            *lock_slot(slot) = Some(Inflight {
+                deadline: Instant::now() + timeout,
+                token: token.clone(),
+            });
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            cfg.faults.trigger(index, attempt, &token);
+            f(
+                TaskCtx {
+                    index,
+                    attempt,
+                    cancel: &token,
+                },
+                item,
+            )
+        }));
+        if let Some(slot) = registry {
+            *lock_slot(slot) = None;
+        }
+        // Classify the attempt. A fired token outranks everything: a
+        // result produced after cancellation is truncated work, and the
+        // stall fault's unwinding panic is a timeout, not a crash.
+        let failure = match result {
+            Ok(r) if !token.is_cancelled() => {
+                return Supervised {
+                    outcome: TaskOutcome::Ok(r),
+                    attempts: attempt,
+                    history,
+                };
+            }
+            Ok(_) => "timed out".to_string(),
+            Err(_) if token.is_cancelled() => "timed out".to_string(),
+            Err(payload) => format!("panicked: {}", panic_msg(payload.as_ref())),
+        };
+        let timed_out = failure == "timed out";
+        history.push(format!("attempt {attempt}: {failure}"));
+        if attempt > cfg.retries {
+            let outcome = if cfg.retries == 0 {
+                if timed_out {
+                    TaskOutcome::TimedOut
+                } else {
+                    TaskOutcome::Panicked {
+                        msg: failure
+                            .strip_prefix("panicked: ")
+                            .unwrap_or(&failure)
+                            .to_string(),
+                    }
+                }
+            } else {
+                TaskOutcome::Exhausted {
+                    attempts: attempt,
+                    last_error: failure,
+                }
+            };
+            return Supervised {
+                outcome,
+                attempts: attempt,
+                history,
+            };
+        }
+    }
+}
+
+/// Renders a panic payload as text (the two shapes `panic!` produces).
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet<T>(f: impl FnOnce() -> T) -> T {
+        // Injected panics are expected; keep test output readable by
+        // not installing anything (the default hook prints once per
+        // panic — acceptable noise, and hooks are process-global so a
+        // test must not swap them).
+        f()
+    }
+
+    #[test]
+    fn all_ok_matches_map() {
+        let items: Vec<u64> = (0..40).collect();
+        let cfg = SuperviseConfig::default();
+        let out = Pool::new(4).run_supervised(&items, &cfg, |_, &x| x * 3);
+        let expect = Pool::new(4).map(&items, |&x| x * 3);
+        assert_eq!(out.len(), expect.len());
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s.outcome, TaskOutcome::Ok(expect[i]));
+            assert_eq!(s.attempts, 1);
+            assert!(s.history.is_empty());
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_retried() {
+        let items: Vec<u32> = (0..8).collect();
+        let cfg = SuperviseConfig {
+            retries: 1,
+            timeout: None,
+            faults: FaultPlan::parse("panic@3").unwrap(),
+        };
+        let out = quiet(|| Pool::new(4).run_supervised(&items, &cfg, |_, &x| x + 1));
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s.outcome, TaskOutcome::Ok(items[i] + 1), "slot {i}");
+            if i == 3 {
+                assert_eq!(s.attempts, 2);
+                assert_eq!(s.history.len(), 1);
+                assert!(s.history[0].contains("panicked"), "{:?}", s.history);
+            } else {
+                assert_eq!(s.attempts, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_panic_exhausts() {
+        let items: Vec<u32> = (0..4).collect();
+        let cfg = SuperviseConfig {
+            retries: 2,
+            timeout: None,
+            faults: FaultPlan::parse("panic@1*99").unwrap(),
+        };
+        let out = quiet(|| Pool::new(2).run_supervised(&items, &cfg, |_, &x| x));
+        match &out[1].outcome {
+            TaskOutcome::Exhausted {
+                attempts,
+                last_error,
+            } => {
+                assert_eq!(*attempts, 3);
+                assert!(last_error.contains("panicked"), "{last_error}");
+            }
+            o => panic!("expected Exhausted, got {o:?}"),
+        }
+        assert_eq!(out[1].history.len(), 3);
+        assert!(out[0].outcome.is_ok());
+        assert!(out[2].outcome.is_ok());
+        assert!(out[3].outcome.is_ok());
+    }
+
+    #[test]
+    fn zero_retries_reports_panicked() {
+        let items = [0u8, 1];
+        let cfg = SuperviseConfig {
+            retries: 0,
+            timeout: None,
+            faults: FaultPlan::parse("panic@0").unwrap(),
+        };
+        let out = quiet(|| Pool::new(1).run_supervised(&items, &cfg, |_, &x| x));
+        match &out[0].outcome {
+            TaskOutcome::Panicked { msg } => assert!(msg.contains("injected"), "{msg}"),
+            o => panic!("expected Panicked, got {o:?}"),
+        }
+        assert_eq!(out[1].outcome, TaskOutcome::Ok(1));
+    }
+
+    #[test]
+    fn stall_times_out_via_watchdog() {
+        let items: Vec<u32> = (0..4).collect();
+        let cfg = SuperviseConfig {
+            retries: 0,
+            timeout: Some(Duration::from_millis(20)),
+            faults: FaultPlan::parse("stall@2").unwrap(),
+        };
+        let out = quiet(|| Pool::new(2).run_supervised(&items, &cfg, |_, &x| x));
+        assert_eq!(out[2].outcome, TaskOutcome::TimedOut);
+        assert!(
+            out[2].history[0].contains("timed out"),
+            "{:?}",
+            out[2].history
+        );
+        for i in [0usize, 1, 3] {
+            assert_eq!(out[i].outcome, TaskOutcome::Ok(items[i]), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn stall_then_recover_on_retry() {
+        let items: Vec<u32> = (0..3).collect();
+        let cfg = SuperviseConfig {
+            retries: 1,
+            timeout: Some(Duration::from_millis(20)),
+            faults: FaultPlan::parse("stall@1").unwrap(),
+        };
+        let out = quiet(|| Pool::new(1).run_supervised(&items, &cfg, |_, &x| x * 10));
+        assert_eq!(out[1].outcome, TaskOutcome::Ok(10));
+        assert_eq!(out[1].attempts, 2);
+    }
+
+    #[test]
+    fn cooperative_task_sees_cancellation() {
+        // A task that polls its token returns early once cancelled; the
+        // supervisor still classifies the slot as timed out.
+        let items = [0u8];
+        let cfg = SuperviseConfig {
+            retries: 0,
+            timeout: Some(Duration::from_millis(20)),
+            faults: FaultPlan::none(),
+        };
+        let out = Pool::new(1).run_supervised(&items, &cfg, |ctx, _| {
+            while !ctx.cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            0u8
+        });
+        assert_eq!(out[0].outcome, TaskOutcome::TimedOut);
+    }
+
+    #[test]
+    fn outcomes_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..23).collect();
+        let cfg = SuperviseConfig {
+            retries: 1,
+            timeout: None,
+            faults: FaultPlan::parse("panic@4,panic@7*99").unwrap(),
+        };
+        let serial = quiet(|| Pool::new(1).run_supervised(&items, &cfg, |_, &x| x ^ 0xABCD));
+        for threads in [2, 4, 8] {
+            let par = quiet(|| Pool::new(threads).run_supervised(&items, &cfg, |_, &x| x ^ 0xABCD));
+            assert_eq!(par, serial, "{threads} threads diverged");
+        }
+    }
+
+    #[test]
+    fn fault_plan_parses_and_rejects() {
+        let p = FaultPlan::parse("panic@3,stall@0*2, exit@9 ").unwrap();
+        assert_eq!(
+            p,
+            FaultPlan {
+                faults: vec![
+                    Fault {
+                        kind: FaultKind::Panic,
+                        index: 3,
+                        times: 1
+                    },
+                    Fault {
+                        kind: FaultKind::Stall,
+                        index: 0,
+                        times: 2
+                    },
+                    Fault {
+                        kind: FaultKind::Exit,
+                        index: 9,
+                        times: 1
+                    },
+                ]
+            }
+        );
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("boom@1").is_err());
+        assert!(FaultPlan::parse("panic@x").is_err());
+        assert!(FaultPlan::parse("panic@1*0").is_err());
+        assert!(FaultPlan::parse("panic").is_err());
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(TaskOutcome::Ok(1u8).label(), "ok");
+        assert_eq!(TaskOutcome::<u8>::TimedOut.label(), "timed_out");
+        assert_eq!(
+            TaskOutcome::<u8>::Panicked { msg: "m".into() }.label(),
+            "panicked"
+        );
+        assert_eq!(
+            TaskOutcome::<u8>::Exhausted {
+                attempts: 2,
+                last_error: "e".into()
+            }
+            .label(),
+            "exhausted"
+        );
+        assert_eq!(TaskOutcome::Ok(1u8).error(), None);
+        assert!(TaskOutcome::<u8>::TimedOut
+            .error()
+            .unwrap()
+            .contains("timed out"));
+    }
+}

@@ -50,4 +50,38 @@ cargo run --release --offline -q -p profess-bench --bin tracecheck -- \
     "$smoke_dir/TRACE_fig05.jsonl" \
     run swap_begin swap_complete mdm_decision rsm_epoch queue_sample hist counters
 
+# Resilience smoke: supervised sweep execution end to end (DESIGN.md
+# §10) — an injected fault must surface as a per-cell outcome in the
+# perf artifact, and a sweep killed mid-run must resume from its
+# checkpoint journal instead of starting over.
+echo "==> resilience smoke (fig10_12: injected fault, kill, resume)"
+# (a) A terminal injected panic (poisoned past the retry budget) fails
+# exactly its cell: the sweep exits SWEEP_FAILURE_EXIT_CODE (3) and the
+# cells array records the exhausted outcome with its retry history.
+rc=0
+PROFESS_RESULTS_DIR="$smoke_dir" PROFESS_THREADS=2 PROFESS_RETRIES=1 \
+    PROFESS_FAULT='panic@2*9' \
+    cargo run --release --offline -q -p profess-bench --bin fig10_12 -- 400 w01 \
+    > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 3
+grep -q '"status":"exhausted"' "$smoke_dir/BENCH_fig10_12.json"
+grep -q 'injected fault' "$smoke_dir/BENCH_fig10_12.json"
+# (b) Kill-and-resume: an injected process exit (code 86) mid-sweep
+# leaves a journal of the finished cells; the rerun restores them,
+# executes only the remainder, and the journal validates strictly.
+# Serial on the faulted pass so cells before the kill point complete.
+ckpt="$smoke_dir/CHECKPOINT_fig10_12.jsonl"
+rc=0
+PROFESS_RESULTS_DIR="$smoke_dir" PROFESS_CHECKPOINT="$smoke_dir" \
+    PROFESS_THREADS=1 PROFESS_FAULT='exit@6' \
+    cargo run --release --offline -q -p profess-bench --bin fig10_12 -- 400 w01 w08 \
+    > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 86
+test -s "$ckpt"
+PROFESS_RESULTS_DIR="$smoke_dir" PROFESS_CHECKPOINT="$smoke_dir" \
+    cargo run --release --offline -q -p profess-bench --bin fig10_12 -- 400 w01 w08 \
+    > "$smoke_dir/resume.out"
+grep -q 'restored from journal' "$smoke_dir/resume.out"
+cargo run --release --offline -q -p profess-bench --bin checkpointcheck -- "$ckpt"
+
 echo "ci: all tier-1 checks passed"
