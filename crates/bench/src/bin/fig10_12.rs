@@ -11,14 +11,16 @@
 //!
 //! The sweep runs supervised: `PROFESS_CHECKPOINT` journals completed
 //! cells for kill-and-resume, `PROFESS_RETRIES` / `PROFESS_TASK_TIMEOUT_MS`
-//! bound recovery, and `PROFESS_FAULT` injects deterministic failures.
+//! bound recovery, `PROFESS_FAULT` injects deterministic failures, and
+//! `PROFESS_SNAPSHOT` / `PROFESS_SNAPSHOT_AT` preempt cells into
+//! journaled mid-run snapshots that retries warm-start from.
 //! Trailing workload-id arguments restrict the sweep to a subset.
 
 use profess_bench::harness::{BenchJson, TraceCollector};
 use profess_bench::{
     init_trace_flag, journal_from_env, normalized_sweep_supervised, print_sweep,
-    report_sweep_health, supervise_from_env, sweep_args, Pool, MULTI_TARGET_MISSES,
-    SWEEP_FAILURE_EXIT_CODE,
+    report_sweep_health, snapshot_mode_from_env, supervise_from_env, sweep_args,
+    write_rows_artifact, Pool, MULTI_TARGET_MISSES, SWEEP_FAILURE_EXIT_CODE,
 };
 use profess_core::system::PolicyKind;
 use profess_types::SystemConfig;
@@ -29,6 +31,7 @@ fn main() {
     let cfg = SystemConfig::scaled_quad();
     let sup = supervise_from_env();
     let journal = journal_from_env("fig10_12");
+    let snap = snapshot_mode_from_env();
     let mut bench = BenchJson::start("fig10_12");
     let mut traces = TraceCollector::from_env("fig10_12");
     let run = normalized_sweep_supervised(
@@ -39,10 +42,13 @@ fn main() {
         &workloads,
         &sup,
         &journal,
+        &snap,
         &mut traces,
     );
     bench.add_ops(run.executed() as u64);
     bench.push_cells(&run.cells);
+    bench.set_skipped_malformed(run.skipped_malformed as u64);
+    write_rows_artifact("fig10_12", &run.rows);
     if !run.rows.is_empty() {
         let (unf, ws, eff) = print_sweep(
             &format!(

@@ -20,8 +20,8 @@
 use profess_bench::harness::{BenchJson, TraceCollector};
 use profess_bench::{
     init_trace_flag, journal_from_env, normalized_sweep_supervised, print_sweep,
-    report_sweep_health, supervise_from_env, sweep_args, Pool, MULTI_TARGET_MISSES,
-    SWEEP_FAILURE_EXIT_CODE,
+    report_sweep_health, snapshot_mode_from_env, supervise_from_env, sweep_args,
+    write_rows_artifact, Pool, MULTI_TARGET_MISSES, SWEEP_FAILURE_EXIT_CODE,
 };
 use profess_core::system::PolicyKind;
 use profess_metrics::geomean;
@@ -33,6 +33,7 @@ fn main() {
     let cfg = SystemConfig::scaled_quad();
     let sup = supervise_from_env();
     let journal = journal_from_env("fig13_15");
+    let snap = snapshot_mode_from_env();
     let pool = Pool::from_env();
     let mut bench = BenchJson::start("fig13_15");
     let mut traces = TraceCollector::from_env("fig13_15");
@@ -44,9 +45,11 @@ fn main() {
         &workloads,
         &sup,
         &journal,
+        &snap,
         &mut traces,
     );
     bench.add_ops(run.executed() as u64);
+    write_rows_artifact("fig13_15", &run.rows);
     let profess = &run.rows;
     if !profess.is_empty() {
         let (unf, ws, eff) = print_sweep(
@@ -77,12 +80,14 @@ fn main() {
         &workloads,
         &sup,
         &journal,
+        &snap,
         &mut no_traces,
     );
     bench.add_ops(mdm_run.executed() as u64);
     let mut cells = run.cells.clone();
     cells.extend(mdm_run.cells.iter().cloned());
     bench.push_cells(&cells);
+    bench.set_skipped_malformed(run.skipped_malformed.max(mdm_run.skipped_malformed) as u64);
     let mdm = &mdm_run.rows;
     if run.all_ok() && mdm_run.all_ok() {
         let rel = |a: &[f64], b: &[f64]| geomean(a) / geomean(b);

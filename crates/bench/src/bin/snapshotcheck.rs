@@ -1,0 +1,152 @@
+//! **snapshotcheck** — strict CI validator for mid-run simulator
+//! snapshots and for the snapshot-equivalence contract.
+//!
+//! Usage:
+//!
+//! ```text
+//! snapshotcheck journal [--min-snapshots N] <journal.jsonl>...
+//! snapshotcheck diff <golden.json> <resumed.json>
+//! ```
+//!
+//! **journal** mode strictly decodes each checkpoint journal (as
+//! `checkpointcheck` does) and then parses every `snapshot|`-keyed
+//! payload as a [`SystemSnapshot`]: the versioned wire object must
+//! carry the supported version and a matching FNV-1a fingerprint, or
+//! the file fails. `--min-snapshots N` additionally requires at least
+//! `N` snapshot entries across all files — CI uses it to prove that a
+//! preemption-injecting run actually exercised the snapshot path
+//! (a sweep that silently never preempted would otherwise pass).
+//!
+//! **diff** mode byte-compares two `ROWS_*.json` artifacts (see
+//! `write_rows_artifact`): the rows of a sweep whose cells were
+//! preempted into snapshots and resumed must be *byte-identical* to an
+//! uninterrupted golden run's. Any difference is a determinism
+//! regression in snapshot/restore and fails loudly.
+//!
+//! Exits 0 on success, 1 on a validation failure, 2 on usage errors.
+//!
+//! [`SystemSnapshot`]: profess_core::SystemSnapshot
+
+use profess_bench::checkpoint::entries_of_file;
+use profess_core::SystemSnapshot;
+
+fn usage() -> ! {
+    eprintln!("usage: snapshotcheck journal [--min-snapshots N] <journal.jsonl>...");
+    eprintln!("       snapshotcheck diff <golden.json> <resumed.json>");
+    std::process::exit(2);
+}
+
+/// Validates every `snapshot|` entry of one journal; returns
+/// (snapshot entries, total entries).
+fn check_journal(path: &str) -> Result<(usize, usize), String> {
+    let entries = entries_of_file(std::path::Path::new(path))?;
+    let total = entries.len();
+    let mut snapshots = 0usize;
+    for (key, payload) in &entries {
+        if !key.starts_with("snapshot|") {
+            continue;
+        }
+        SystemSnapshot::from_json(payload)
+            .map_err(|e| format!("{path}: `{key}`: invalid snapshot: {e}"))?;
+        snapshots += 1;
+    }
+    Ok((snapshots, total))
+}
+
+fn journal_mode(args: &[String]) {
+    let mut min_snapshots = 0usize;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--min-snapshots" {
+            let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("snapshotcheck: --min-snapshots needs a non-negative integer");
+                std::process::exit(2);
+            };
+            min_snapshots = n;
+        } else if a.starts_with('-') {
+            usage();
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+    let mut total_snapshots = 0usize;
+    for f in &files {
+        match check_journal(f) {
+            Ok((snapshots, total)) => {
+                println!("{f}: ok ({snapshots} snapshot(s) among {total} entries)");
+                total_snapshots += snapshots;
+            }
+            Err(e) => {
+                eprintln!("snapshotcheck: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if total_snapshots < min_snapshots {
+        eprintln!(
+            "snapshotcheck: {total_snapshots} snapshot(s) found, {min_snapshots} required — \
+             the preemption path was not exercised"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "snapshotcheck: {} file(s), {total_snapshots} snapshot(s), all valid",
+        files.len()
+    );
+}
+
+fn diff_mode(args: &[String]) {
+    let [golden, resumed] = args else { usage() };
+    let read = |p: &String| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("snapshotcheck: {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let (a, b) = (read(golden), read(resumed));
+    if a == b {
+        println!(
+            "snapshotcheck: {golden} and {resumed} are byte-identical ({} bytes)",
+            a.len()
+        );
+        return;
+    }
+    let at = a
+        .bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()));
+    eprintln!(
+        "snapshotcheck: rows diverge: {golden} ({} bytes) vs {resumed} ({} bytes), \
+         first difference at byte {at}",
+        a.len(),
+        b.len()
+    );
+    eprintln!("  golden:  ...{}", excerpt(&a, at));
+    eprintln!("  resumed: ...{}", excerpt(&b, at));
+    std::process::exit(1);
+}
+
+/// A short printable window of `s` starting near byte `at`.
+fn excerpt(s: &str, at: usize) -> &str {
+    let start = (0..=at.min(s.len())).rev().find(|&i| s.is_char_boundary(i));
+    let start = start.unwrap_or(0).saturating_sub(0);
+    let mut end = (start + 60).min(s.len());
+    while end < s.len() && !s.is_char_boundary(end) {
+        end += 1;
+    }
+    &s[start..end]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((mode, rest)) if mode == "journal" => journal_mode(rest),
+        Some((mode, rest)) if mode == "diff" => diff_mode(rest),
+        _ => usage(),
+    }
+}

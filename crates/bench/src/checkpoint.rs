@@ -326,17 +326,26 @@ fn decode_line(line: &str) -> Option<(String, Json)> {
 /// fingerprint-match. Returns the cell count (later duplicates of a key
 /// are allowed — a rerun after a drop re-records — and counted once).
 pub fn validate_file(path: &Path) -> Result<usize, String> {
+    Ok(entries_of_file(path)?.len())
+}
+
+/// Strictly decodes a journal file into its effective entries: every
+/// line must decode and fingerprint-match (CI semantics, not the
+/// tolerant [`Journal::load`]), and later duplicates of a key replace
+/// earlier ones — exactly the payload a reload would see. Entries come
+/// back in key order.
+pub fn entries_of_file(path: &Path) -> Result<BTreeMap<String, Json>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let mut keys = std::collections::BTreeSet::new();
+    let mut entries = BTreeMap::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let (key, _) = decode_line(line)
+        let (key, payload) = decode_line(line)
             .ok_or_else(|| format!("{}:{}: invalid checkpoint line", path.display(), lineno + 1))?;
-        keys.insert(key);
+        entries.insert(key, payload);
     }
-    Ok(keys.len())
+    Ok(entries)
 }
 
 #[cfg(test)]

@@ -205,6 +205,7 @@ pub struct BenchJson {
     started: Instant,
     results: Vec<(String, BenchStats)>,
     cells: Option<Vec<Json>>,
+    skipped_malformed: Option<u64>,
 }
 
 impl BenchJson {
@@ -218,6 +219,7 @@ impl BenchJson {
             started: Instant::now(),
             results: Vec::new(),
             cells: None,
+            skipped_malformed: None,
         }
     }
 
@@ -263,6 +265,16 @@ impl BenchJson {
         );
     }
 
+    /// Records how many malformed checkpoint-journal lines the sweep's
+    /// tolerant loader dropped (see
+    /// [`SweepRun::skipped_malformed`](crate::SweepRun::skipped_malformed)).
+    /// The artifact then carries a `"skipped_malformed"` count that
+    /// `checkpointcheck` asserts is zero in strict CI mode — the
+    /// tolerant drop path must never pass silently through CI.
+    pub fn set_skipped_malformed(&mut self, n: u64) {
+        self.skipped_malformed = Some(n);
+    }
+
     /// Writes `BENCH_<name>.json` into [`results_dir`] and reports the
     /// path (or a warning on I/O failure — a missing artifact must not
     /// fail the run it measures).
@@ -303,6 +315,9 @@ impl BenchJson {
                 ),
             ),
         ];
+        if let Some(n) = self.skipped_malformed {
+            pairs.push(("skipped_malformed", Json::UInt(n)));
+        }
         if let Some(cells) = self.cells {
             pairs.push(("cells", Json::Arr(cells)));
         }

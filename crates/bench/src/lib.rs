@@ -14,7 +14,8 @@
 pub mod checkpoint;
 pub mod harness;
 
-use profess_core::system::{PolicyKind, SystemBuilder, SystemReport};
+use profess_core::system::{PolicyKind, RunOutcome, SystemBuilder, SystemReport};
+use profess_core::SystemSnapshot;
 use profess_metrics::{unfairness, weighted_speedup, Json};
 use profess_trace::{SpecProgram, Workload};
 use profess_types::SystemConfig;
@@ -84,6 +85,78 @@ pub fn workload_or_usage(id: &str) -> Workload {
 /// panic backtrace.
 pub fn supervise_from_env() -> SuperviseConfig {
     SuperviseConfig::from_env().unwrap_or_else(|e| usage_error(&e))
+}
+
+/// Env var enabling snapshot-on-cancel in the sweep binaries: unset,
+/// empty, or `0` leaves preempted (timed-out) cells cold; `1` makes the
+/// watchdog preempt them into a journaled snapshot instead, so the
+/// retry resumes mid-run.
+pub const SNAPSHOT_ENV: &str = "PROFESS_SNAPSHOT";
+
+/// Env var deterministically preempting every cell's *first* attempt at
+/// the given clock (cycles): the cell snapshots itself, the snapshot is
+/// journaled, and the retry warm-starts from it. Used by CI to prove
+/// that a preempted-and-resumed sweep emits byte-identical rows.
+pub const SNAPSHOT_AT_ENV: &str = "PROFESS_SNAPSHOT_AT";
+
+/// How a supervised sweep uses mid-run snapshots (see
+/// [`profess_core::SystemSnapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotMode {
+    /// Preempt cancelled (watchdog-timed-out) cells into a snapshot
+    /// instead of a cancellation error, journaling the partial run.
+    pub on_cancel: bool,
+    /// Deterministically preempt each cell's first attempt at this
+    /// clock, journaling the snapshot; the retry resumes from it.
+    pub at: Option<u64>,
+}
+
+impl SnapshotMode {
+    /// Snapshots off: cells run cold, preemption is a plain failure.
+    pub fn disabled() -> SnapshotMode {
+        SnapshotMode::default()
+    }
+
+    /// Is any snapshot behaviour active?
+    pub fn is_enabled(&self) -> bool {
+        self.on_cancel || self.at.is_some()
+    }
+
+    /// Reads the mode from [`SNAPSHOT_ENV`] and [`SNAPSHOT_AT_ENV`].
+    /// Invalid values are an error, not a silent default: a typo'd
+    /// preemption cycle must not quietly run an uninterrupted sweep.
+    pub fn from_env() -> Result<SnapshotMode, String> {
+        let mut mode = SnapshotMode::disabled();
+        if let Ok(v) = std::env::var(SNAPSHOT_ENV) {
+            mode.on_cancel = match v.as_str() {
+                "" | "0" => false,
+                "1" => true,
+                _ => return Err(format!("{SNAPSHOT_ENV}={v}: expected 0 or 1")),
+            };
+        }
+        if let Ok(v) = std::env::var(SNAPSHOT_AT_ENV) {
+            if !v.is_empty() {
+                let at = v
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("{SNAPSHOT_AT_ENV}={v}: expected a clock cycle count"))?;
+                mode.at = Some(at);
+            }
+        }
+        Ok(mode)
+    }
+}
+
+/// Reads the snapshot mode (`PROFESS_SNAPSHOT`, `PROFESS_SNAPSHOT_AT`)
+/// from the environment, reporting invalid values as usage errors.
+pub fn snapshot_mode_from_env() -> SnapshotMode {
+    SnapshotMode::from_env().unwrap_or_else(|e| usage_error(&e))
+}
+
+/// The journal key holding cell `key`'s mid-run snapshot. Namespaced so
+/// snapshot entries can never shadow a completed cell's result.
+pub fn snapshot_key(cell_key: &str) -> String {
+    format!("snapshot|{cell_key}")
 }
 
 /// Opens the checkpoint journal selected by `PROFESS_CHECKPOINT` for
@@ -439,6 +512,7 @@ pub fn normalized_sweep_traced(
         workloads,
         &strict_supervision(),
         &Journal::disabled(),
+        &SnapshotMode::disabled(),
         traces,
     );
     if let Some(c) = run.failed_cells().first() {
@@ -530,6 +604,10 @@ pub struct SweepRun {
     pub skipped: Vec<String>,
     /// Cells restored from the checkpoint journal instead of running.
     pub resumed: usize,
+    /// Malformed journal lines silently dropped at load time (each one
+    /// cost a cell rerun). Surfaced here — and in the `BENCH_*.json`
+    /// artifact — so a decaying journal is visible, not silent.
+    pub skipped_malformed: usize,
 }
 
 impl SweepRun {
@@ -585,40 +663,69 @@ pub fn report_sweep_health(run: &SweepRun) -> bool {
     run.all_ok()
 }
 
-/// Runs one solo cell under a cancel token. Simulator errors (budget,
-/// deadlock, cancellation) become panics so the supervisor classifies
-/// them per cell instead of the process dying.
-fn sim_solo(
+/// Builds the simulation one cell describes (policy and program set
+/// applied, nothing run yet).
+fn cell_builder(
     cfg: &SystemConfig,
-    policy: PolicyKind,
-    prog: SpecProgram,
+    kind: CellKind,
+    workloads: &[Workload],
     target_misses: u64,
-    cancel: &profess_par::CancelToken,
-) -> SystemReport {
-    SystemBuilder::new(cfg.clone())
-        .policy(policy)
-        .spec_program(prog, prog.budget_for_misses(target_misses))
-        .cancel_token(cancel.clone())
-        .try_run()
-        // profess: allow(panic): converts the typed SimError into a supervised per-cell failure
-        .unwrap_or_else(|e| panic!("{e}"))
+) -> SystemBuilder {
+    match kind {
+        CellKind::Solo(pk, p) => SystemBuilder::new(cfg.clone())
+            .policy(pk)
+            .spec_program(p, p.budget_for_misses(target_misses)),
+        CellKind::Multi(wi, pk) => SystemBuilder::new(cfg.clone())
+            .policy(pk)
+            .workload(&workloads[wi], target_misses),
+    }
 }
 
-/// Runs one multiprogram cell under a cancel token (see [`sim_solo`]).
-fn sim_workload(
-    cfg: &SystemConfig,
-    policy: PolicyKind,
-    w: &Workload,
-    target_misses: u64,
-    cancel: &profess_par::CancelToken,
+/// Runs one cell under a cancel token, with the snapshot mode applied.
+/// Simulator errors (budget, deadlock, cancellation) become panics so
+/// the supervisor classifies them per cell instead of the process
+/// dying. A preempted run journals its snapshot under
+/// [`snapshot_key`] and then panics: the supervisor counts the attempt
+/// as failed and the retry finds the snapshot and warm-starts from it.
+fn run_cell(
+    b: SystemBuilder,
+    snap: &SnapshotMode,
+    journal: &Journal,
+    snap_key: &str,
+    ctx: &profess_par::TaskCtx<'_>,
 ) -> SystemReport {
-    SystemBuilder::new(cfg.clone())
-        .policy(policy)
-        .workload(w, target_misses)
-        .cancel_token(cancel.clone())
-        .try_run()
+    let mut b = b
+        .cancel_token(ctx.cancel.clone())
+        .snapshot_on_cancel(snap.on_cancel);
+    // A journaled snapshot (from a previously preempted attempt) wins
+    // over cold-start preemption; a snapshot that no longer decodes
+    // falls back to a cold run (the tolerant-journal philosophy: a bad
+    // entry costs a rerun, never a wrong result).
+    let restored = snap
+        .is_enabled()
+        .then(|| journal.lookup(snap_key))
+        .flatten()
+        .and_then(|p| SystemSnapshot::from_json(&p).ok());
+    match &restored {
+        Some(s) => b = b.restore(s),
+        None => {
+            if ctx.attempt == 1 {
+                if let Some(at) = snap.at {
+                    b = b.snapshot_at(at);
+                }
+            }
+        }
+    }
+    match b.try_run_preemptible() {
+        Ok(RunOutcome::Completed(r)) => r,
+        Ok(RunOutcome::Preempted(s)) => {
+            journal.record(snap_key, s.to_json());
+            // profess: allow(panic): hands the preempted cell back to the supervisor, whose retry warm-starts from the journaled snapshot
+            panic!("preempted into snapshot at cycle {}", s.clock())
+        }
         // profess: allow(panic): converts the typed SimError into a supervised per-cell failure
-        .unwrap_or_else(|e| panic!("{e}"))
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// The supervised, checkpointable normalized sweep all `normalized_sweep*`
@@ -639,6 +746,14 @@ fn sim_workload(
 /// resumed sweep's rows are byte-identical to an uninterrupted run's.
 /// Traces are recorded in cell order for multiprogram cells that ran
 /// this process (restored cells have no trace to contribute).
+///
+/// With `snap` enabled, a preempted cell (watchdog cancel under
+/// `snap.on_cancel`, or the deterministic `snap.at` clock on first
+/// attempts) journals a mid-run [`SystemSnapshot`] under
+/// [`snapshot_key`] and fails the attempt; the retry restores the
+/// snapshot and runs only the remaining cycles. Snapshot-restored
+/// completions are byte-identical to straight-through runs, so the
+/// emitted rows do not depend on whether any cell was preempted.
 #[allow(clippy::too_many_arguments)]
 pub fn normalized_sweep_supervised(
     pool: &Pool,
@@ -648,6 +763,7 @@ pub fn normalized_sweep_supervised(
     workloads: &[Workload],
     sup: &SuperviseConfig,
     journal: &Journal,
+    snap: &SnapshotMode,
     traces: &mut harness::TraceCollector,
 ) -> SweepRun {
     let cfgfp = checkpoint::config_fingerprint(cfg, target_misses);
@@ -691,14 +807,12 @@ pub fn normalized_sweep_supervised(
 
     let outs = pool.run_supervised(&pending, sup, |ctx, &si| {
         let spec = &specs[si];
+        let skey = snapshot_key(&spec.key);
+        let b = cell_builder(cfg, spec.kind, workloads, target_misses);
+        let report = run_cell(b, snap, journal, &skey, &ctx);
         let value = match spec.kind {
-            CellKind::Solo(pk, p) => {
-                CellValue::Solo(sim_solo(cfg, pk, p, target_misses, ctx.cancel).programs[0].ipc)
-            }
-            CellKind::Multi(wi, pk) => {
-                let report = sim_workload(cfg, pk, &workloads[wi], target_misses, ctx.cancel);
-                CellValue::Multi(MultiCell::from_report(&report), Some(report))
-            }
+            CellKind::Solo(..) => CellValue::Solo(report.programs[0].ipc),
+            CellKind::Multi(..) => CellValue::Multi(MultiCell::from_report(&report), Some(report)),
         };
         journal.record(&spec.key, encode_cell(&value));
         value
@@ -791,6 +905,7 @@ pub fn normalized_sweep_supervised(
         cells,
         skipped,
         resumed,
+        skipped_malformed: journal.rejected(),
     }
 }
 
@@ -831,6 +946,22 @@ pub fn rows_to_json(rows: &[NormalizedRow]) -> String {
             .collect(),
     )
     .to_string()
+}
+
+/// Writes a sweep's rows as `ROWS_<name>.json` into
+/// [`harness::results_dir`] (the [`rows_to_json`] canonical rendering),
+/// so CI can byte-compare a preempted-and-resumed sweep's rows against
+/// an uninterrupted golden run with `snapshotcheck diff`. An I/O
+/// failure is a warning — a missing artifact must not fail the sweep
+/// that produced real results.
+pub fn write_rows_artifact(name: &str, rows: &[NormalizedRow]) {
+    let dir = harness::results_dir();
+    let path = dir.join(format!("ROWS_{name}.json"));
+    let io = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, rows_to_json(rows)));
+    match io {
+        Ok(()) => println!("rows artifact: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 /// Prints a normalized sweep as the three paper figures' series plus a

@@ -96,16 +96,46 @@ pub enum SimError {
         /// Simulated cycle at which cancellation was observed.
         cycle: u64,
     },
+    /// A snapshot was written by an incompatible format version.
+    SnapshotVersion {
+        /// Version found in the snapshot.
+        found: u64,
+        /// Version this build understands.
+        expected: u64,
+    },
+    /// A snapshot failed structural or fingerprint validation.
+    SnapshotCorrupt {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A snapshot came from a differently configured system.
+    SnapshotConfigMismatch {
+        /// Config fingerprint recorded in the snapshot.
+        found: u64,
+        /// Config fingerprint of the restoring system.
+        expected: u64,
+    },
+    /// The configured run cannot be snapshotted (e.g. region sampling
+    /// holds unbounded diagnostic state excluded from the format).
+    SnapshotUnsupported {
+        /// Which feature blocks snapshotting.
+        what: String,
+    },
 }
 
 impl SimError {
     /// Stable machine-readable label (`budget_exceeded`, `deadlock`,
-    /// `cancelled`).
+    /// `cancelled`, `snapshot_version`, `snapshot_corrupt`,
+    /// `snapshot_config_mismatch`, `snapshot_unsupported`).
     pub fn label(&self) -> &'static str {
         match self {
             SimError::BudgetExceeded { .. } => "budget_exceeded",
             SimError::Deadlock { .. } => "deadlock",
             SimError::Cancelled { .. } => "cancelled",
+            SimError::SnapshotVersion { .. } => "snapshot_version",
+            SimError::SnapshotCorrupt { .. } => "snapshot_corrupt",
+            SimError::SnapshotConfigMismatch { .. } => "snapshot_config_mismatch",
+            SimError::SnapshotUnsupported { .. } => "snapshot_unsupported",
         }
     }
 }
@@ -134,6 +164,21 @@ impl std::fmt::Display for SimError {
             ),
             SimError::Cancelled { cycle } => {
                 write!(f, "simulation cancelled at cycle {cycle}")
+            }
+            SimError::SnapshotVersion { found, expected } => write!(
+                f,
+                "snapshot version {found} is not supported (expected {expected})"
+            ),
+            SimError::SnapshotCorrupt { detail } => {
+                write!(f, "snapshot corrupt: {detail}")
+            }
+            SimError::SnapshotConfigMismatch { found, expected } => write!(
+                f,
+                "snapshot config fingerprint {found:#018x} does not match \
+                 this system's {expected:#018x}"
+            ),
+            SimError::SnapshotUnsupported { what } => {
+                write!(f, "snapshot unsupported: {what}")
             }
         }
     }
@@ -191,6 +236,35 @@ mod tests {
         let c = SimError::Cancelled { cycle: 5 };
         assert_eq!(c.to_string(), "simulation cancelled at cycle 5");
         assert_eq!(c.label(), "cancelled");
+        let v = SimError::SnapshotVersion {
+            found: 9,
+            expected: 1,
+        };
+        assert_eq!(
+            v.to_string(),
+            "snapshot version 9 is not supported (expected 1)"
+        );
+        assert_eq!(v.label(), "snapshot_version");
+        let k = SimError::SnapshotCorrupt {
+            detail: "fingerprint mismatch".to_string(),
+        };
+        assert_eq!(k.to_string(), "snapshot corrupt: fingerprint mismatch");
+        assert_eq!(k.label(), "snapshot_corrupt");
+        let m = SimError::SnapshotConfigMismatch {
+            found: 0x1,
+            expected: 0x2,
+        };
+        assert_eq!(
+            m.to_string(),
+            "snapshot config fingerprint 0x0000000000000001 does not match \
+             this system's 0x0000000000000002"
+        );
+        assert_eq!(m.label(), "snapshot_config_mismatch");
+        let u = SimError::SnapshotUnsupported {
+            what: "region sampling".to_string(),
+        };
+        assert_eq!(u.to_string(), "snapshot unsupported: region sampling");
+        assert_eq!(u.label(), "snapshot_unsupported");
     }
 
     #[test]

@@ -93,6 +93,18 @@ impl FlatPageTable {
     pub fn is_empty(&self) -> bool {
         self.mapped == 0
     }
+
+    /// Raw backing vector (`u64::MAX` = unmapped), for snapshotting.
+    pub(crate) fn raw_frames(&self) -> &[u64] {
+        &self.frames
+    }
+
+    /// Rebuilds a table from a [`FlatPageTable::raw_frames`] vector; the
+    /// mapped count is recomputed so a snapshot cannot desynchronize it.
+    pub(crate) fn from_raw_frames(frames: Vec<u64>) -> Self {
+        let mapped = frames.iter().filter(|&&f| f != UNMAPPED).count();
+        FlatPageTable { frames, mapped }
+    }
 }
 
 /// A map from monotonically issued token ids to values, backed by a ring
@@ -175,6 +187,26 @@ impl<T> TokenRing<T> {
     /// Current ring window width (live span, for tests/diagnostics).
     pub fn window(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Raw window parts `(slots, base)` for snapshotting; `next` is
+    /// `base + slots.len()` by construction.
+    pub(crate) fn raw_parts(&self) -> (&VecDeque<Option<T>>, u64) {
+        (&self.slots, self.base)
+    }
+
+    /// Rebuilds a ring from [`TokenRing::raw_parts`]; `next` and the
+    /// live count are recomputed so a snapshot cannot desynchronize
+    /// them.
+    pub(crate) fn from_raw_parts(slots: VecDeque<Option<T>>, base: u64) -> Self {
+        let live = slots.iter().filter(|s| s.is_some()).count();
+        let next = base + slots.len() as u64;
+        TokenRing {
+            slots,
+            base,
+            next,
+            live,
+        }
     }
 }
 

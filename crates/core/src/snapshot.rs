@@ -1,0 +1,404 @@
+//! Versioned, fingerprinted snapshots of a running simulation.
+//!
+//! A [`SystemSnapshot`] captures the complete simulation state of a
+//! running system at a clock boundary (the top of the main loop): the
+//! clock, every RNG stream, the page tables and token ring, the channel
+//! and core microarchitectural state, the ST/STC contents, and the
+//! per-policy counters. Restoring a snapshot into a freshly built system
+//! (same configuration, same programs) and running to completion yields a
+//! report *byte-identical* to the uninterrupted run — this equivalence is
+//! pinned by `tests/snapshot.rs` across every policy.
+//!
+//! The wire format is a single [`Json`] object:
+//!
+//! ```text
+//! {"kind":"system_snapshot","version":1,"config_fp":<u64>,
+//!  "fp":<u64>,"payload":{...}}
+//! ```
+//!
+//! `fp` is the FNV-1a fingerprint of the canonical emission of
+//! `{"version":…,"config_fp":…,"payload":…}` — any single corrupted byte
+//! is rejected at parse time with a typed [`SimError`], never a panic.
+//! `config_fp` fingerprints the builder configuration (system config,
+//! policy, program names, cycle cap); a snapshot only restores into a
+//! system with the identical fingerprint.
+//!
+//! Floating-point state travels as exact bit patterns (16 hex digits of
+//! `f64::to_bits`), never as decimal text, so restore is bit-exact.
+//!
+//! Observability state (tracers, per-channel histograms, pending trace
+//! buffers) is deliberately *excluded*: snapshot bytes are identical
+//! whether or not a run is traced, mirroring the report's own contract.
+
+use profess_metrics::Json;
+
+use crate::errors::SimError;
+
+/// Snapshot wire-format version. Bump on any payload schema change;
+/// restore rejects other versions with [`SimError::SnapshotVersion`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Top-level payload fields, in emission order.
+///
+/// This constant is the source of truth for the snapshot schema: the
+/// `snapshot_schema` lint in `profess-analyze` checks that the DESIGN.md
+/// schema table documents exactly these fields.
+pub const PAYLOAD_FIELDS: &[&str] = &[
+    "clock",
+    "retired",
+    "restarts",
+    "first_done",
+    "core_stats",
+    "cores",
+    "channels",
+    "stcs",
+    "st",
+    "alloc",
+    "page_tables",
+    "meta",
+    "pending_st",
+    "ch_next",
+    "core_next",
+    "policy",
+];
+
+/// FNV-1a 64-bit hash (same constants as the bench fingerprint suite).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A serializable snapshot of a mid-run [`System`](crate::system) at a
+/// clock boundary. Produced by preemptible runs
+/// ([`SystemBuilder::snapshot_at`](crate::system::SystemBuilder::snapshot_at),
+/// [`SystemBuilder::snapshot_on_cancel`](crate::system::SystemBuilder::snapshot_on_cancel));
+/// consumed by [`SystemBuilder::restore`](crate::system::SystemBuilder::restore).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSnapshot {
+    config_fp: u64,
+    payload: Json,
+}
+
+impl SystemSnapshot {
+    /// Wraps an assembled payload (crate-internal: only
+    /// `System::snapshot` builds payloads).
+    pub(crate) fn new(config_fp: u64, payload: Json) -> Self {
+        SystemSnapshot { config_fp, payload }
+    }
+
+    /// Fingerprint of the builder configuration this snapshot came from.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fp
+    }
+
+    /// The state payload (read access, for validators and tests).
+    pub fn payload(&self) -> &Json {
+        &self.payload
+    }
+
+    /// Simulated cycle at which the snapshot was taken.
+    pub fn clock(&self) -> u64 {
+        self.payload
+            .get("clock")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    }
+
+    /// The fingerprinted body: everything except `kind` and `fp`.
+    fn body(&self) -> Json {
+        Json::obj([
+            ("version", Json::UInt(u64::from(SNAPSHOT_VERSION))),
+            ("config_fp", Json::UInt(self.config_fp)),
+            ("payload", self.payload.clone()),
+        ])
+    }
+
+    /// Serializes to the versioned, fingerprinted wire object.
+    pub fn to_json(&self) -> Json {
+        let fp = fnv64(self.body().to_string().as_bytes());
+        Json::obj([
+            ("kind", Json::Str("system_snapshot".to_string())),
+            ("version", Json::UInt(u64::from(SNAPSHOT_VERSION))),
+            ("config_fp", Json::UInt(self.config_fp)),
+            ("fp", Json::UInt(fp)),
+            ("payload", self.payload.clone()),
+        ])
+    }
+
+    /// Deserializes from a wire object, enforcing kind, version, and
+    /// fingerprint. Every failure is a typed [`SimError`]; this function
+    /// never panics on hostile input.
+    pub fn from_json(j: &Json) -> Result<Self, SimError> {
+        let corrupt = |detail: &str| SimError::SnapshotCorrupt {
+            detail: detail.to_string(),
+        };
+        match j.get("kind").and_then(Json::as_str) {
+            Some("system_snapshot") => {}
+            _ => return Err(corrupt("missing or wrong \"kind\"")),
+        }
+        let version = j
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("missing \"version\""))?;
+        if version != u64::from(SNAPSHOT_VERSION) {
+            return Err(SimError::SnapshotVersion {
+                found: version,
+                expected: u64::from(SNAPSHOT_VERSION),
+            });
+        }
+        let config_fp = j
+            .get("config_fp")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("missing \"config_fp\""))?;
+        let fp = j
+            .get("fp")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("missing \"fp\""))?;
+        let payload = j
+            .get("payload")
+            .ok_or_else(|| corrupt("missing \"payload\""))?;
+        let snap = SystemSnapshot {
+            config_fp,
+            payload: payload.clone(),
+        };
+        let want = fnv64(snap.body().to_string().as_bytes());
+        if fp != want {
+            return Err(corrupt("fingerprint mismatch"));
+        }
+        Ok(snap)
+    }
+
+    /// Parses the textual emission of [`SystemSnapshot::to_json`].
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let j = Json::parse(text).map_err(|e| SimError::SnapshotCorrupt {
+            detail: format!("not valid JSON: {e}"),
+        })?;
+        SystemSnapshot::from_json(&j)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared codec helpers for snapshot payload assembly and restore.
+// ---------------------------------------------------------------------------
+
+/// Fetches a required `u64` field from an object.
+pub fn get_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field \"{key}\""))
+}
+
+/// Fetches a required boolean field from an object.
+pub fn get_bool(obj: &Json, key: &str) -> Result<bool, String> {
+    obj.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("missing or non-boolean field \"{key}\""))
+}
+
+/// Fetches a required array field from an object.
+pub fn get_arr<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    obj.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing or non-array field \"{key}\""))
+}
+
+/// Reads a bare `u64` array element.
+pub fn u64_from(j: &Json, what: &str) -> Result<u64, String> {
+    j.as_u64().ok_or_else(|| format!("non-integer {what}"))
+}
+
+/// Encodes an optional `u64` as `null` or an integer.
+pub fn opt_u64_to_json(v: Option<u64>) -> Json {
+    match v {
+        Some(x) => Json::UInt(x),
+        None => Json::Null,
+    }
+}
+
+/// Decodes `null` or an integer into an optional `u64`.
+pub fn opt_u64_from_json(j: &Json, what: &str) -> Result<Option<u64>, String> {
+    match j {
+        Json::Null => Ok(None),
+        Json::UInt(x) => Ok(Some(*x)),
+        _ => Err(format!("{what}: expected null or integer")),
+    }
+}
+
+/// Encodes an `i64` the way the JSON parser reads numbers back:
+/// non-negative values as `UInt`, negative values as `Int` — keeping
+/// emit→parse→emit byte-stable.
+pub fn i64_to_json(x: i64) -> Json {
+    if x >= 0 {
+        Json::UInt(x as u64)
+    } else {
+        Json::Int(x)
+    }
+}
+
+/// Decodes an [`i64_to_json`] value.
+pub fn i64_from_json(j: &Json, what: &str) -> Result<i64, String> {
+    match j {
+        Json::UInt(x) if *x <= i64::MAX as u64 => Ok(*x as i64),
+        Json::Int(x) => Ok(*x),
+        _ => Err(format!("{what}: expected integer")),
+    }
+}
+
+/// Encodes an `f64` as its exact bit pattern (16 hex digits), so restore
+/// is bit-exact — `Json::Num` would lose non-finite values.
+pub fn f64_to_json(x: f64) -> Json {
+    Json::Str(format!("{:016x}", x.to_bits()))
+}
+
+/// Decodes an [`f64_to_json`] bit pattern.
+pub fn f64_from_json(j: &Json, what: &str) -> Result<f64, String> {
+    let s = j
+        .as_str()
+        .ok_or_else(|| format!("{what}: expected hex-bits string"))?;
+    if s.len() != 16 {
+        return Err(format!("{what}: expected 16 hex digits, got {:?}", s));
+    }
+    let bits = u64::from_str_radix(s, 16).map_err(|e| format!("{what}: {e}"))?;
+    Ok(f64::from_bits(bits))
+}
+
+/// Decodes a fixed-length `u64` array field.
+pub fn fixed_u64s<const N: usize>(obj: &Json, key: &str) -> Result<[u64; N], String> {
+    let xs = get_arr(obj, key)?;
+    if xs.len() != N {
+        return Err(format!(
+            "field \"{key}\": expected {N} elements, got {}",
+            xs.len()
+        ));
+    }
+    let mut out = [0u64; N];
+    for (i, x) in xs.iter().enumerate() {
+        out[i] = u64_from(x, key)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SystemSnapshot {
+        SystemSnapshot::new(
+            0xdead_beef_0123_4567,
+            Json::obj([("clock", Json::UInt(4242)), ("retired", Json::UInt(17))]),
+        )
+    }
+
+    #[test]
+    fn round_trip_is_byte_stable() {
+        let snap = sample();
+        let text = snap.to_json().to_string();
+        let back = SystemSnapshot::parse(&text).expect("round trip");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json().to_string(), text);
+        assert_eq!(back.clock(), 4242);
+        assert_eq!(back.config_fingerprint(), 0xdead_beef_0123_4567);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut j = sample().to_json();
+        // Rewrite the version field.
+        if let Json::Obj(pairs) = &mut j {
+            for (k, v) in pairs.iter_mut() {
+                if k == "version" {
+                    *v = Json::UInt(99);
+                }
+            }
+        }
+        match SystemSnapshot::from_json(&j) {
+            Err(SimError::SnapshotVersion {
+                found: 99,
+                expected,
+            }) => {
+                assert_eq!(expected, u64::from(SNAPSHOT_VERSION));
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_tamper_is_rejected() {
+        let text = sample().to_json().to_string();
+        let tampered = text.replace("4242", "4243");
+        assert_ne!(tampered, text, "tamper must change the text");
+        match SystemSnapshot::parse(&tampered) {
+            Err(SimError::SnapshotCorrupt { detail }) => {
+                assert!(detail.contains("fingerprint"), "{detail}");
+            }
+            other => panic!("expected corrupt error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let j = Json::obj([("kind", Json::Str("trace_event".to_string()))]);
+        assert!(matches!(
+            SystemSnapshot::from_json(&j),
+            Err(SimError::SnapshotCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_text_is_rejected_not_panicking() {
+        for t in ["", "{", "[1,2", "{\"kind\":\"system_snapshot\"}", "nul"] {
+            assert!(SystemSnapshot::parse(t).is_err(), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn f64_bits_round_trip_exactly() {
+        for x in [0.0, -0.0, 1.5, f64::INFINITY, f64::MIN_POSITIVE, 1.0 / 3.0] {
+            let j = f64_to_json(x);
+            let back = f64_from_json(&j, "x").expect("round trip");
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+        // NaN round-trips bit-exactly too.
+        let j = f64_to_json(f64::NAN);
+        let back = f64_from_json(&j, "nan").expect("round trip");
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn i64_round_trips_through_parser_variants() {
+        for x in [0i64, 1, -1, i64::MAX, i64::MIN] {
+            let j = i64_to_json(x);
+            // What the parser would hand back after a text round trip.
+            let reparsed = Json::parse(&j.to_string()).expect("valid");
+            assert_eq!(i64_from_json(&reparsed, "x").expect("decodes"), x);
+            assert_eq!(reparsed.to_string(), j.to_string());
+        }
+        assert!(i64_from_json(&Json::UInt(u64::MAX), "x").is_err());
+        assert!(i64_from_json(&Json::Str("5".into()), "x").is_err());
+    }
+
+    #[test]
+    fn helper_errors_name_the_field() {
+        let o = Json::obj([("a", Json::UInt(1))]);
+        assert!(get_u64(&o, "b").expect_err("missing").contains("\"b\""));
+        assert!(get_bool(&o, "a").expect_err("wrong type").contains("\"a\""));
+        assert!(get_arr(&o, "a").expect_err("wrong type").contains("\"a\""));
+        assert!(
+            fixed_u64s::<2>(&Json::obj([("xs", Json::Arr(vec![Json::UInt(1)]))]), "xs")
+                .expect_err("short")
+                .contains("expected 2")
+        );
+    }
+
+    #[test]
+    fn payload_fields_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for f in PAYLOAD_FIELDS {
+            assert!(seen.insert(*f), "duplicate payload field {f}");
+        }
+    }
+}

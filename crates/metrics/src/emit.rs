@@ -54,6 +54,38 @@ impl Json {
         }
     }
 
+    /// The value as an unsigned integer ([`Json::UInt`] only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
     /// Serializes compactly (no whitespace).
     pub fn to_string(&self) -> String {
         let mut out = String::new();
@@ -623,6 +655,28 @@ mod tests {
         assert_eq!(v.get("x"), Some(&Json::UInt(7)));
         assert_eq!(v.get("y"), None);
         assert_eq!(Json::Null.get("x"), None);
+    }
+
+    #[test]
+    fn json_typed_accessors() {
+        let v = Json::obj([
+            ("u", Json::UInt(7)),
+            ("b", Json::Bool(true)),
+            ("s", Json::Str("hi".into())),
+            ("a", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+        ]);
+        assert_eq!(v.get("u").and_then(Json::as_u64), Some(7));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        // Wrong-shape accesses are None, not panics.
+        assert_eq!(v.get("s").and_then(Json::as_u64), None);
+        assert_eq!(v.get("u").and_then(Json::as_str), None);
+        assert_eq!(v.get("b").and_then(Json::as_arr), None);
+        assert_eq!(v.get("a").and_then(Json::as_bool), None);
     }
 
     #[test]

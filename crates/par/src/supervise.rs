@@ -675,6 +675,83 @@ mod tests {
     }
 
     #[test]
+    fn retry_then_succeed_keeps_input_order_deterministic() {
+        // Several slots fail on their first attempt while neighbours run
+        // concurrently; the output must stay in input order with results
+        // identical to a serial run, and only the faulted slots show a
+        // retry history.
+        let items: Vec<u64> = (0..16).collect();
+        let cfg = SuperviseConfig {
+            retries: 1,
+            timeout: None,
+            faults: FaultPlan::parse("panic@0,panic@5,panic@11,panic@15").unwrap(),
+        };
+        let serial = quiet(|| Pool::new(1).run_supervised(&items, &cfg, |_, &x| x * 7 + 1));
+        let par = quiet(|| Pool::new(4).run_supervised(&items, &cfg, |_, &x| x * 7 + 1));
+        assert_eq!(par, serial, "pool of 4 diverged from serial");
+        for (i, s) in par.iter().enumerate() {
+            assert_eq!(s.outcome, TaskOutcome::Ok(items[i] * 7 + 1), "slot {i}");
+            let faulted = matches!(i, 0 | 5 | 11 | 15);
+            assert_eq!(s.attempts, if faulted { 2 } else { 1 }, "slot {i}");
+            assert_eq!(s.history.len(), usize::from(faulted), "slot {i}");
+        }
+    }
+
+    #[test]
+    fn cancel_racing_completion_counts_as_timeout_then_retries() {
+        // The task produces a value only *after* its token fires — the
+        // classic watchdog race. The fired token must outrank the Ok
+        // (truncated work is not a result), and the retry, whose token
+        // never fires, succeeds with attempts = 2.
+        let items = [7u8];
+        let cfg = SuperviseConfig {
+            retries: 1,
+            timeout: Some(Duration::from_millis(20)),
+            faults: FaultPlan::none(),
+        };
+        let out = Pool::new(1).run_supervised(&items, &cfg, |ctx, &x| {
+            if ctx.attempt == 1 {
+                while !ctx.cancel.is_cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Returns Ok-shaped data despite the cancellation.
+                return x;
+            }
+            x
+        });
+        assert_eq!(out[0].outcome, TaskOutcome::Ok(7));
+        assert_eq!(out[0].attempts, 2);
+        assert_eq!(out[0].history.len(), 1);
+        assert!(
+            out[0].history[0].contains("timed out"),
+            "{:?}",
+            out[0].history
+        );
+    }
+
+    #[test]
+    fn fault_on_final_cell_is_isolated() {
+        // The last slot is the edge the retire loop can get wrong: its
+        // failure must not truncate the batch or disturb earlier slots.
+        let items: Vec<u32> = (0..10).collect();
+        let n = items.len();
+        let cfg = SuperviseConfig {
+            retries: 0,
+            timeout: None,
+            faults: FaultPlan::parse(&format!("panic@{}", n - 1)).unwrap(),
+        };
+        let out = quiet(|| Pool::new(4).run_supervised(&items, &cfg, |_, &x| x + 100));
+        assert_eq!(out.len(), n, "no slot may be dropped");
+        for (i, s) in out.iter().enumerate().take(n - 1) {
+            assert_eq!(s.outcome, TaskOutcome::Ok(items[i] + 100), "slot {i}");
+        }
+        match &out[n - 1].outcome {
+            TaskOutcome::Panicked { msg } => assert!(msg.contains("injected"), "{msg}"),
+            o => panic!("expected Panicked on the final cell, got {o:?}"),
+        }
+    }
+
+    #[test]
     fn fault_plan_parses_and_rejects() {
         let p = FaultPlan::parse("panic@3,stall@0*2, exit@9 ").unwrap();
         assert_eq!(

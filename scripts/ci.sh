@@ -84,4 +84,32 @@ PROFESS_RESULTS_DIR="$smoke_dir" PROFESS_CHECKPOINT="$smoke_dir" \
 grep -q 'restored from journal' "$smoke_dir/resume.out"
 cargo run --release --offline -q -p profess-bench --bin checkpointcheck -- "$ckpt"
 
+# Snapshot smoke: mid-run preempt/restore end to end (DESIGN.md §11).
+# A golden uninterrupted sweep pins the ROWS_<name>.json row artifact;
+# then the same sweep with every cell's first attempt preempted at a
+# clock (PROFESS_SNAPSHOT_AT) journals one snapshot per cell, and the
+# supervisor's retry warm-starts each from its snapshot. The resumed
+# sweep's rows must be byte-identical to the golden ones, the journaled
+# snapshots must strict-decode, and the perf artifact must report zero
+# dropped journal lines.
+echo "==> snapshot smoke (fig10_12: preempt at a clock, warm-start, diff)"
+snap_dir="$smoke_dir/snap"
+mkdir -p "$snap_dir"
+PROFESS_RESULTS_DIR="$snap_dir" PROFESS_THREADS=2 \
+    cargo run --release --offline -q -p profess-bench --bin fig10_12 -- 400 w01 \
+    > /dev/null
+test -s "$snap_dir/ROWS_fig10_12.json"
+mv "$snap_dir/ROWS_fig10_12.json" "$snap_dir/ROWS_golden.json"
+PROFESS_RESULTS_DIR="$snap_dir" PROFESS_THREADS=2 PROFESS_RETRIES=1 \
+    PROFESS_CHECKPOINT="$snap_dir" PROFESS_SNAPSHOT=1 PROFESS_SNAPSHOT_AT=1000 \
+    cargo run --release --offline -q -p profess-bench --bin fig10_12 -- 400 w01 \
+    > "$snap_dir/preempt.out" 2> /dev/null
+grep -q 'preempted into snapshot' "$snap_dir/BENCH_fig10_12.json"
+cargo run --release --offline -q -p profess-bench --bin snapshotcheck -- \
+    journal --min-snapshots 1 "$snap_dir/CHECKPOINT_fig10_12.jsonl"
+cargo run --release --offline -q -p profess-bench --bin snapshotcheck -- \
+    diff "$snap_dir/ROWS_golden.json" "$snap_dir/ROWS_fig10_12.json"
+cargo run --release --offline -q -p profess-bench --bin checkpointcheck -- \
+    "$snap_dir/BENCH_fig10_12.json"
+
 echo "ci: all tier-1 checks passed"

@@ -1,0 +1,78 @@
+//! Shared fixtures for the report-pinning suites (`fingerprints`,
+//! `snapshot`): the full policy grid, the FNV-1a hash, the pinned
+//! golden table, and the builders that produce the pinned
+//! configurations. Keeping these in one place guarantees the
+//! snapshot-equivalence matrix exercises *exactly* the runs whose
+//! bytes the fingerprint suite pins.
+#![allow(dead_code)] // each test binary uses its own subset
+
+use profess::prelude::*;
+use profess::report::report_to_json;
+
+/// Every migration policy the simulator implements (same order as
+/// `tests/determinism.rs`).
+pub const ALL_POLICIES: [PolicyKind; 9] = [
+    PolicyKind::Static,
+    PolicyKind::Cameo,
+    PolicyKind::Pom,
+    PolicyKind::MemPod,
+    PolicyKind::Mdm,
+    PolicyKind::Profess,
+    PolicyKind::ProfessNoCase3,
+    PolicyKind::SilcFm,
+    PolicyKind::RsmPom,
+];
+
+/// `(policy name, single-program hash, quad-workload hash)` — harvested
+/// from the pre-observability simulator; see `tests/fingerprints.rs`
+/// module docs for re-pinning.
+pub const PINNED: [(&str, u64, u64); 9] = [
+    ("Static", 0xa53873a1883f77d1, 0x25a635d3cb1129e7),
+    ("CAMEO", 0xeac170ceec3806f3, 0xfbabc8d0021a5d49),
+    ("PoM", 0x3aad6ce50fb67823, 0xfecd8037d568b763),
+    ("MemPod", 0x7dee4dc3f806bfdf, 0x9e03a6a2adbda9a1),
+    ("MDM", 0xcdd1dc3568d3d9bd, 0xbf7552fb6d3d0757),
+    ("ProFess", 0xdc551da36203c4ca, 0xc063fe854a19db8e),
+    ("ProFess-noC3", 0xdc551da36203c4ca, 0x8694210ba143c9f0),
+    ("SILC-FM", 0xa655ae7f97e122f9, 0x9f9ffdc5d44bd4e3),
+    ("RSM+PoM", 0x08e1560f0e5d67bd, 0x8271fa4d89e1b972),
+];
+
+/// FNV-1a over the serialized report bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The builder behind the pinned single-program (Milc) fingerprints.
+pub fn single_builder(pk: PolicyKind) -> SystemBuilder {
+    let mut cfg = SystemConfig::scaled_single();
+    cfg.seed = 7;
+    cfg.rsm.m_samp = 1024;
+    SystemBuilder::new(cfg).policy(pk).spec_program(
+        SpecProgram::Milc,
+        SpecProgram::Milc.budget_for_misses(5_000),
+    )
+}
+
+/// The builder behind the pinned quad-workload fingerprints.
+pub fn multi_builder(pk: PolicyKind) -> SystemBuilder {
+    let mut cfg = SystemConfig::scaled_quad();
+    cfg.seed = 99;
+    cfg.rsm.m_samp = 512;
+    let w = workloads()[0];
+    let mut b = SystemBuilder::new(cfg).policy(pk);
+    for p in w.programs {
+        b = b.spec_program(p, p.budget_for_misses(2_000));
+    }
+    b
+}
+
+/// The canonical report serialization the fingerprints pin.
+pub fn report_string(r: &SystemReport) -> String {
+    report_to_json(r).to_string()
+}

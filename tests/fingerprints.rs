@@ -9,75 +9,16 @@
 //! with tracing disabled (the default), an instrumented simulator must
 //! reproduce these exact bytes.
 //!
+//! The grid, the hash, and the pinned table live in `tests/common` so
+//! `tests/snapshot.rs` can prove snapshot/restore byte-identity against
+//! the same golden runs.
+//!
 //! If a change is *meant* to alter results, re-pin by running with
 //! `PROFESS_BLESS_FINGERPRINTS=1` and copying the printed table.
 
-use profess::prelude::*;
-use profess::report::report_to_json;
+mod common;
 
-/// Every migration policy the simulator implements (same order as
-/// `tests/determinism.rs`).
-const ALL_POLICIES: [PolicyKind; 9] = [
-    PolicyKind::Static,
-    PolicyKind::Cameo,
-    PolicyKind::Pom,
-    PolicyKind::MemPod,
-    PolicyKind::Mdm,
-    PolicyKind::Profess,
-    PolicyKind::ProfessNoCase3,
-    PolicyKind::SilcFm,
-    PolicyKind::RsmPom,
-];
-
-/// FNV-1a over the serialized report bytes.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn single_report(pk: PolicyKind) -> String {
-    let mut cfg = SystemConfig::scaled_single();
-    cfg.seed = 7;
-    cfg.rsm.m_samp = 1024;
-    let r = SystemBuilder::new(cfg)
-        .policy(pk)
-        .spec_program(
-            SpecProgram::Milc,
-            SpecProgram::Milc.budget_for_misses(5_000),
-        )
-        .run();
-    report_to_json(&r).to_string()
-}
-
-fn multi_report(pk: PolicyKind) -> String {
-    let mut cfg = SystemConfig::scaled_quad();
-    cfg.seed = 99;
-    cfg.rsm.m_samp = 512;
-    let w = workloads()[0];
-    let mut b = SystemBuilder::new(cfg).policy(pk);
-    for p in w.programs {
-        b = b.spec_program(p, p.budget_for_misses(2_000));
-    }
-    report_to_json(&b.run()).to_string()
-}
-
-/// `(policy name, single-program hash, quad-workload hash)` — harvested
-/// from the pre-observability simulator; see module docs for re-pinning.
-const PINNED: [(&str, u64, u64); 9] = [
-    ("Static", 0xa53873a1883f77d1, 0x25a635d3cb1129e7),
-    ("CAMEO", 0xeac170ceec3806f3, 0xfbabc8d0021a5d49),
-    ("PoM", 0x3aad6ce50fb67823, 0xfecd8037d568b763),
-    ("MemPod", 0x7dee4dc3f806bfdf, 0x9e03a6a2adbda9a1),
-    ("MDM", 0xcdd1dc3568d3d9bd, 0xbf7552fb6d3d0757),
-    ("ProFess", 0xdc551da36203c4ca, 0xc063fe854a19db8e),
-    ("ProFess-noC3", 0xdc551da36203c4ca, 0x8694210ba143c9f0),
-    ("SILC-FM", 0xa655ae7f97e122f9, 0x9f9ffdc5d44bd4e3),
-    ("RSM+PoM", 0x08e1560f0e5d67bd, 0x8271fa4d89e1b972),
-];
+use common::{fnv1a, multi_builder, report_string, single_builder, ALL_POLICIES, PINNED};
 
 #[test]
 fn report_fingerprints_match_pinned_values() {
@@ -85,8 +26,8 @@ fn report_fingerprints_match_pinned_values() {
     let mut table = String::new();
     let mut bad = Vec::new();
     for (i, pk) in ALL_POLICIES.iter().enumerate() {
-        let s = fnv1a(single_report(*pk).as_bytes());
-        let m = fnv1a(multi_report(*pk).as_bytes());
+        let s = fnv1a(report_string(&single_builder(*pk).run()).as_bytes());
+        let m = fnv1a(report_string(&multi_builder(*pk).run()).as_bytes());
         let (name, ps, pm) = PINNED[i];
         assert_eq!(name, pk.name(), "PINNED table order drifted");
         table.push_str(&format!(

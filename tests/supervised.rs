@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use profess::prelude::*;
 use profess_bench::harness::TraceCollector;
 use profess_bench::{
-    checkpoint, normalized_sweep_supervised, rows_to_json, FaultPlan, Journal, Pool,
+    checkpoint, normalized_sweep_supervised, rows_to_json, FaultPlan, Journal, Pool, SnapshotMode,
     SuperviseConfig,
 };
 use profess_check::strategy::{tuple2, tuple3, u64_range, vec_of};
@@ -69,6 +69,7 @@ fn killed_and_resumed_sweep_is_byte_identical() {
                 &subset,
                 sup,
                 journal,
+                &SnapshotMode::disabled(),
                 &mut TraceCollector::disabled(),
             )
         };
@@ -135,6 +136,7 @@ fn injected_panic_surfaces_as_cell_outcome_with_history() {
         &subset,
         &sup,
         &Journal::disabled(),
+        &SnapshotMode::disabled(),
         &mut TraceCollector::disabled(),
     );
     let recovered = &run.cells[1];
@@ -156,6 +158,37 @@ fn injected_panic_surfaces_as_cell_outcome_with_history() {
     assert!(!run.all_ok());
     // Only the workload whose cells all succeeded gets a row.
     assert!(run.rows.is_empty() && run.skipped == vec!["w01".to_string()]);
+}
+
+/// A malformed journal line is dropped on load (the cell reruns), but
+/// the drop is *surfaced*: `SweepRun::skipped_malformed` carries the
+/// count into the perf artifact, where strict CI (`checkpointcheck` on
+/// `BENCH_*.json`) requires it to be zero.
+#[test]
+fn malformed_journal_lines_surface_in_sweep_run() {
+    let ws = workloads();
+    let subset = [ws[0]];
+    let path = temp_journal("malformed");
+    std::fs::write(&path, "{\"torn\":tr\n").expect("seed journal");
+    let journal = Journal::load(&path).expect("tolerant load");
+    assert_eq!(journal.rejected(), 1);
+    let run = normalized_sweep_supervised(
+        &Pool::new(1),
+        &sweep_cfg(),
+        PolicyKind::Mdm,
+        2_000,
+        &subset,
+        &strict(),
+        &journal,
+        &SnapshotMode::disabled(),
+        &mut TraceCollector::disabled(),
+    );
+    assert!(run.all_ok());
+    assert_eq!(
+        run.skipped_malformed, 1,
+        "the dropped line must be reported, not silently swallowed"
+    );
+    std::fs::remove_file(&path).ok();
 }
 
 /// Property: the checkpoint journal round-trips every record exactly —
