@@ -15,6 +15,8 @@ pub const THREAD_SPAWN: &str = "thread_spawn";
 pub const PANIC: &str = "panic";
 /// No `unsafe`, and every lib.rs must `#![forbid(unsafe_code)]`.
 pub const UNSAFE_CODE: &str = "unsafe_code";
+/// No tree/hash maps in the simulator's designated hot-path modules.
+pub const HOT_PATH_MAP: &str = "hot_path_map";
 
 /// Crates whose library code holds simulator state that must iterate
 /// deterministically (the report fingerprints replay their decisions).
@@ -32,6 +34,16 @@ const THREAD_CRATES: &[&str] = &["par"];
 /// harness — panicking on a failed assertion is its entire product.
 const PANIC_EXEMPT_CRATES: &[&str] = &["check"];
 
+/// Modules on the per-access simulator hot path: the run loop and the
+/// migration policies it dispatches into every served request. Keyed
+/// lookups here must use the dense flat structures in
+/// `crates/core/src/flat.rs`; a `BTreeMap`/`HashMap` is a measured
+/// regression, not a style nit. Cold paths (setup, snapshot plumbing)
+/// may suppress with `// profess: allow(hot_path_map): <why cold>`.
+fn is_hot_path_module(rel_path: &str) -> bool {
+    rel_path == "crates/core/src/system.rs" || rel_path.starts_with("crates/core/src/policies/")
+}
+
 /// Runs all code lints over one scanned Rust file.
 pub fn check(f: &SourceFile, s: &Scan, tests: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
     let crate_name = f.role.crate_name().unwrap_or("");
@@ -41,6 +53,24 @@ pub fn check(f: &SourceFile, s: &Scan, tests: &[(u32, u32)], out: &mut Vec<Diagn
     for (i, t) in s.tokens.iter().enumerate() {
         let Tok::Ident(id) = &t.tok else { continue };
         let in_test = in_regions(tests, t.line);
+        // Checked outside the big match: `HashMap` must fire both this
+        // and `hash_collections` (they demand different fixes).
+        if matches!(id.as_str(), "BTreeMap" | "HashMap")
+            && is_code
+            && is_hot_path_module(&f.rel_path)
+            && !in_test
+        {
+            out.push(Diagnostic::new(
+                HOT_PATH_MAP,
+                &f.rel_path,
+                t.line,
+                format!(
+                    "`{id}` in a hot-path module: every served request pays the traversal — \
+                     use a dense flat structure (see crates/core/src/flat.rs), or suppress a \
+                     cold path with `// profess: allow(hot_path_map): <why cold>`"
+                ),
+            ));
+        }
         match id.as_str() {
             "HashMap" | "HashSet"
                 if is_code && SIM_STATE_CRATES.contains(&crate_name) && !in_test =>
@@ -223,6 +253,30 @@ mod tests {
         assert!(check_source("crates/mem/src/x.rs", above)
             .iter()
             .all(|d| d.suppressed));
+    }
+
+    #[test]
+    fn hot_path_map_scoped_to_run_loop_and_policies() {
+        let bad = "use std::collections::BTreeMap;\nstruct S { m: BTreeMap<u64, u64> }\n";
+        let hits = |p: &str| {
+            check_source(p, bad)
+                .iter()
+                .filter(|d| d.lint == "hot_path_map")
+                .count()
+        };
+        assert_eq!(hits("crates/core/src/system.rs"), 2);
+        assert_eq!(hits("crates/core/src/policies/pom.rs"), 2);
+        // Cold modules of the same crate are fine.
+        assert_eq!(hits("crates/core/src/snapshot.rs"), 0);
+        assert_eq!(hits("crates/mem/src/channel.rs"), 0);
+        // `HashMap` fires this lint *and* hash_collections.
+        let hashy = "use std::collections::HashMap;\n";
+        let d = check_source("crates/core/src/policies/mdm.rs", hashy);
+        assert!(d.iter().any(|d| d.lint == "hot_path_map"));
+        assert!(d.iter().any(|d| d.lint == "hash_collections"));
+        // Test modules are exempt.
+        let test_ok = "#[cfg(test)]\nmod tests {\n use std::collections::BTreeMap;\n}\n";
+        assert!(check_source("crates/core/src/system.rs", test_ok).is_empty());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub const ALL_LINTS: &[&str] = &[
     code::THREAD_SPAWN,
     code::PANIC,
     code::UNSAFE_CODE,
+    code::HOT_PATH_MAP,
     hermetic::HERMETIC_DEPS,
     hermetic::HERMETIC_LOCK,
     trace_schema::TRACE_SCHEMA,

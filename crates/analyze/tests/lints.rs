@@ -36,6 +36,26 @@ fn hash_collections_positive_and_suppressed() {
 }
 
 #[test]
+fn hot_path_map_positive_and_suppressed() {
+    let bad = "use std::collections::BTreeMap;\n";
+    assert_eq!(
+        active(&[("crates/core/src/policies/pom.rs", bad)], "hot_path_map"),
+        1
+    );
+    let allowed = "// profess: allow(hot_path_map): setup-time table, never touched per access\n\
+                   use std::collections::BTreeMap;\n";
+    assert_eq!(
+        active(&[("crates/core/src/system.rs", allowed)], "hot_path_map"),
+        0
+    );
+    // Modules off the hot path are out of scope.
+    assert_eq!(
+        active(&[("crates/core/src/alloc.rs", bad)], "hot_path_map"),
+        0
+    );
+}
+
+#[test]
 fn wall_clock_positive_and_suppressed() {
     let bad = "use std::time::Instant;\n";
     assert_eq!(active(&[("crates/obs/src/x.rs", bad)], "wall_clock"), 1);
@@ -205,6 +225,7 @@ fn lint_list_is_complete() {
         "thread_spawn",
         "panic",
         "unsafe_code",
+        "hot_path_map",
         "hermetic_deps",
         "hermetic_lock",
         "trace_schema",
@@ -213,7 +234,7 @@ fn lint_list_is_complete() {
     ] {
         assert!(lints::ALL_LINTS.contains(&lint), "{lint} not registered");
     }
-    assert_eq!(lints::ALL_LINTS.len(), 10);
+    assert_eq!(lints::ALL_LINTS.len(), 11);
 }
 
 #[test]

@@ -1,0 +1,269 @@
+//! **benchgate** — the bench trend gate: compares freshly produced
+//! `BENCH_<name>.json` perf artifacts against a committed baseline and
+//! fails CI when a benchmark entry regressed.
+//!
+//! Usage: `benchgate [--baseline <dir>] <BENCH_*.json>...`
+//!
+//! For every fresh artifact, the baseline is the file of the same name
+//! in the baseline directory: the `--baseline` flag if given, else the
+//! `PROFESS_BENCH_BASELINE` environment variable (the override used for
+//! intentional trajectory resets — point it at a directory of freshly
+//! recorded artifacts to re-anchor the trend), else the workspace-level
+//! `results/` (the committed baseline).
+//!
+//! An entry regresses when it is more than 15% slower than its baseline
+//! on **both** the median and the min of its timed samples. The median
+//! carries the trend; the min-of-N is the noise-resistant confirmation —
+//! a median that drifts over threshold while the min stays in range is
+//! scheduler noise (something this machine *can* still do at baseline
+//! speed), reported but not fatal. Entries present on only one side
+//! (new benchmarks, filtered runs) are reported and skipped; a fresh
+//! artifact with no baseline file is skipped entirely. Wall-clock and
+//! throughput fields are never gated — they depend on sample counts and
+//! machine load, not simulator speed.
+//!
+//! Exit codes:
+//! * `0` — every compared entry within threshold (or nothing to compare);
+//! * `1` — usage, I/O or parse error;
+//! * `2` — at least one entry regressed.
+
+use std::path::{Path, PathBuf};
+
+use profess_metrics::Json;
+
+/// Regression threshold: fail when fresh > baseline * (1 + 15/100) on
+/// both gated statistics.
+const THRESHOLD_PCT: u128 = 15;
+
+/// One gated benchmark entry from an artifact's `results` array.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    name: String,
+    min_ns: u64,
+    median_ns: u64,
+}
+
+/// Outcome of comparing one entry against its baseline.
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    /// Within threshold (or faster).
+    Ok,
+    /// Median over threshold but min within: machine noise, not fatal.
+    Noisy,
+    /// Median and min both over threshold: a real regression.
+    Regressed,
+}
+
+/// `fresh` vs `base`, per the module-level rule.
+fn verdict(fresh: &Entry, base: &Entry) -> Verdict {
+    let over = |f: u64, b: u64| (f as u128) * 100 > (b as u128) * (100 + THRESHOLD_PCT);
+    match (
+        over(fresh.median_ns, base.median_ns),
+        over(fresh.min_ns, base.min_ns),
+    ) {
+        (true, true) => Verdict::Regressed,
+        (true, false) => Verdict::Noisy,
+        _ => Verdict::Ok,
+    }
+}
+
+/// Percent change of `fresh` vs `base`, for reporting (`+` = slower).
+fn pct(fresh: u64, base: u64) -> String {
+    if base == 0 {
+        return "n/a".to_string();
+    }
+    let delta = fresh as f64 / base as f64 * 100.0 - 100.0;
+    format!("{delta:+.1}%")
+}
+
+/// Parses the `results` array of a `BENCH_*.json` artifact.
+fn entries(path: &Path) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let j = Json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    if j.get("bench").is_none() {
+        return Err(format!(
+            "{}: not a BENCH artifact (no `bench` key)",
+            path.display()
+        ));
+    }
+    let Some(results) = j.get("results").and_then(Json::as_arr) else {
+        return Err(format!("{}: no `results` array", path.display()));
+    };
+    results
+        .iter()
+        .map(|r| {
+            let field = |k: &str| {
+                r.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{}: result entry without `{k}`", path.display()))
+            };
+            Ok(Entry {
+                name: r
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{}: result entry without `name`", path.display()))?
+                    .to_string(),
+                min_ns: field("min_ns")?,
+                median_ns: field("median_ns")?,
+            })
+        })
+        .collect()
+}
+
+/// The workspace-level `results/` directory: the outermost ancestor of
+/// the working directory holding a `Cargo.lock`. Deliberately ignores
+/// `PROFESS_RESULTS_DIR` — in CI that points at the scratch directory
+/// the *fresh* artifacts land in, which must never be its own baseline.
+fn default_baseline() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.ancestors()
+        .filter(|a| a.join("Cargo.lock").exists())
+        .last()
+        .map(|root| root.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Gates one fresh artifact. Returns the regression messages (empty =
+/// passed); errors are I/O or parse problems.
+fn gate_file(fresh_path: &Path, baseline_dir: &Path) -> Result<Vec<String>, String> {
+    let Some(name) = fresh_path.file_name() else {
+        return Err(format!("{}: not a file path", fresh_path.display()));
+    };
+    let base_path = baseline_dir.join(name);
+    if !base_path.exists() {
+        println!(
+            "benchgate: {}: no baseline at {}; skipping (new artifact)",
+            fresh_path.display(),
+            base_path.display()
+        );
+        return Ok(Vec::new());
+    }
+    let fresh = entries(fresh_path)?;
+    let base = entries(&base_path)?;
+    let mut regressions = Vec::new();
+    for f in &fresh {
+        let Some(b) = base.iter().find(|b| b.name == f.name) else {
+            println!("benchgate: {}: no baseline entry; skipping", f.name);
+            continue;
+        };
+        let line = format!(
+            "{}: median {} ({} -> {} ns), min {} ({} -> {} ns)",
+            f.name,
+            pct(f.median_ns, b.median_ns),
+            b.median_ns,
+            f.median_ns,
+            pct(f.min_ns, b.min_ns),
+            b.min_ns,
+            f.min_ns,
+        );
+        match verdict(f, b) {
+            Verdict::Ok => println!("benchgate: ok       {line}"),
+            Verdict::Noisy => println!("benchgate: noisy    {line} (min within threshold)"),
+            Verdict::Regressed => {
+                println!("benchgate: REGRESSED {line}");
+                regressions.push(line);
+            }
+        }
+    }
+    for b in &base {
+        if !fresh.iter().any(|f| f.name == b.name) {
+            println!("benchgate: {}: not in fresh run; skipping", b.name);
+        }
+    }
+    Ok(regressions)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut baseline: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    while let Some(a) = args.next() {
+        if a == "--baseline" {
+            match args.next() {
+                Some(d) => baseline = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("benchgate: --baseline requires a directory");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            files.push(PathBuf::from(a));
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: benchgate [--baseline <dir>] <BENCH_*.json>...");
+        std::process::exit(1);
+    }
+    let baseline = baseline
+        .or_else(|| std::env::var_os("PROFESS_BENCH_BASELINE").map(PathBuf::from))
+        .unwrap_or_else(default_baseline);
+    println!("benchgate: baseline {}", baseline.display());
+
+    let mut regressions = Vec::new();
+    for f in &files {
+        match gate_file(f, &baseline) {
+            Ok(r) => regressions.extend(r),
+            Err(e) => {
+                eprintln!("benchgate: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if regressions.is_empty() {
+        println!("benchgate: trend gate passed ({} artifact(s))", files.len());
+        return;
+    }
+    eprintln!(
+        "benchgate: {} entr{} regressed >{}% on median and min:",
+        regressions.len(),
+        if regressions.len() == 1 { "y" } else { "ies" },
+        THRESHOLD_PCT,
+    );
+    for r in &regressions {
+        eprintln!("  {r}");
+    }
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(name: &str, min_ns: u64, median_ns: u64) -> Entry {
+        Entry {
+            name: name.to_string(),
+            min_ns,
+            median_ns,
+        }
+    }
+
+    #[test]
+    fn verdicts_follow_the_dual_threshold() {
+        let base = e("b", 1_000, 1_200);
+        // Faster, equal, and just-inside are all ok.
+        assert_eq!(verdict(&e("b", 900, 1_100), &base), Verdict::Ok);
+        assert_eq!(verdict(&e("b", 1_000, 1_200), &base), Verdict::Ok);
+        assert_eq!(verdict(&e("b", 1_150, 1_380), &base), Verdict::Ok);
+        // Median over but min inside: noise, not a failure.
+        assert_eq!(verdict(&e("b", 1_000, 1_600), &base), Verdict::Noisy);
+        // Both over: regression.
+        assert_eq!(verdict(&e("b", 1_200, 1_600), &base), Verdict::Regressed);
+        // Min alone over is ok (median carries the trend).
+        assert_eq!(verdict(&e("b", 1_200, 1_200), &base), Verdict::Ok);
+    }
+
+    #[test]
+    fn threshold_boundary_is_strict() {
+        let base = e("b", 100, 100);
+        // Exactly +15% is within the gate; one past it is over.
+        assert_eq!(verdict(&e("b", 115, 115), &base), Verdict::Ok);
+        assert_eq!(verdict(&e("b", 116, 116), &base), Verdict::Regressed);
+    }
+
+    #[test]
+    fn pct_formatting_handles_zero_baseline() {
+        assert_eq!(pct(115, 100), "+15.0%");
+        assert_eq!(pct(90, 100), "-10.0%");
+        assert_eq!(pct(5, 0), "n/a");
+    }
+}

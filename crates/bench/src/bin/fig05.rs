@@ -40,7 +40,7 @@ fn main() {
             run_solo(&cfg, PolicyKind::Mdm, prog, target),
         )
     });
-    bench.add_ops(2 * reports.len() as u64);
+    bench.add_sim_ops(2 * reports.len() as u64);
     for (prog, (pom, mdm)) in progs.iter().zip(&reports) {
         traces.record(&format!("{}:PoM", prog.name()), pom);
         traces.record(&format!("{}:MDM", prog.name()), mdm);
@@ -85,7 +85,7 @@ fn main() {
         (&cfg_small, PolicyKind::Mdm),
     ];
     let lq_reports = pool.map(&lq_jobs, |&(c, pk)| run_solo(c, pk, lq, target));
-    bench.add_ops(lq_reports.len() as u64);
+    bench.add_sim_ops(lq_reports.len() as u64);
     for ((_, pk), r) in lq_jobs.iter().zip(&lq_reports) {
         traces.record(&format!("libquantum:{}", pk.name()), r);
     }

@@ -45,7 +45,7 @@ fn main() {
         &snap,
         &mut traces,
     );
-    bench.add_ops(run.executed() as u64);
+    bench.add_sim_ops(run.executed() as u64);
     bench.push_cells(&run.cells);
     bench.set_skipped_malformed(run.skipped_malformed as u64);
     write_rows_artifact("fig10_12", &run.rows);

@@ -48,7 +48,7 @@ fn main() {
         &snap,
         &mut traces,
     );
-    bench.add_ops(run.executed() as u64);
+    bench.add_sim_ops(run.executed() as u64);
     write_rows_artifact("fig13_15", &run.rows);
     let profess = &run.rows;
     if !profess.is_empty() {
@@ -83,7 +83,7 @@ fn main() {
         &snap,
         &mut no_traces,
     );
-    bench.add_ops(mdm_run.executed() as u64);
+    bench.add_sim_ops(mdm_run.executed() as u64);
     let mut cells = run.cells.clone();
     cells.extend(mdm_run.cells.iter().cloned());
     bench.push_cells(&cells);

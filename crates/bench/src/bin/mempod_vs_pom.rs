@@ -45,7 +45,7 @@ fn main() {
     record_cells(&mut cells, &solo_jobs, &solo_out, |(p, pk)| {
         format!("{}:{}", p.name(), pk.name())
     });
-    bench.add_ops(solo_out.len() as u64);
+    bench.add_sim_ops(solo_out.len() as u64);
     for ((prog, pk), out) in solo_jobs.iter().zip(&solo_out) {
         if let Some(report) = out.outcome.ok_ref() {
             traces.record(&format!("{}:{}", prog.name(), pk.name()), report);
@@ -90,7 +90,7 @@ fn main() {
     record_cells(&mut cells, &multi_jobs, &multi_out, |(w, pk)| {
         format!("{}:{}", w.id, pk.name())
     });
-    bench.add_ops(multi_out.len() as u64);
+    bench.add_sim_ops(multi_out.len() as u64);
     for ((w, pk), out) in multi_jobs.iter().zip(&multi_out) {
         if let Some(report) = out.outcome.ok_ref() {
             traces.record(&format!("{}:{}", w.id, pk.name()), report);

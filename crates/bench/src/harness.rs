@@ -15,9 +15,13 @@
 //!
 //! After a run, [`BenchJson`] (used by the figure binaries and by
 //! [`Runner::finish_json`]) writes a machine-readable
-//! `results/BENCH_<name>.json` perf artifact — wall time, ops, ops/sec
-//! and the thread count — so the performance trajectory is tracked
-//! across changes. `PROFESS_RESULTS_DIR` overrides the output directory.
+//! `results/BENCH_<name>.json` perf artifact — wall time, simulated ops,
+//! timed harness samples, the thread count, and a `meta` block naming
+//! the host, toolchain and commit the numbers came from — so the
+//! performance trajectory is tracked across changes and every recorded
+//! number is attributable to the machine that produced it (the
+//! `benchgate` binary compares these artifacts across commits).
+//! `PROFESS_RESULTS_DIR` overrides the output directory.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -161,12 +165,104 @@ impl Runner {
         let mut bj = BenchJson::start(name);
         bj.started = self.started;
         for (bench, stats) in &self.results {
-            bj.add_ops(u64::from(stats.samples));
+            bj.add_harness_samples(u64::from(stats.samples));
             bj.push_result(bench, *stats);
         }
         println!("ran {} benchmark(s)", self.results.len());
         bj.finish();
     }
+}
+
+/// Provenance of a perf artifact: the host, toolchain and commit the
+/// numbers were recorded on. Every lookup degrades to `"unknown"` rather
+/// than failing — metadata must never break the run it describes.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Host name (`/etc/hostname`, or the `HOSTNAME` variable).
+    pub hostname: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// `rustc --version` of the toolchain on `PATH`.
+    pub rustc: String,
+    /// Git commit of the enclosing checkout (short hash).
+    pub commit: String,
+}
+
+impl RunMeta {
+    /// Collects metadata from the environment.
+    pub fn collect() -> Self {
+        RunMeta {
+            hostname: hostname(),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            rustc: rustc_version(),
+            commit: git_commit(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hostname", Json::Str(self.hostname.clone())),
+            ("os", Json::Str(self.os.clone())),
+            ("arch", Json::Str(self.arch.clone())),
+            ("rustc", Json::Str(self.rustc.clone())),
+            ("commit", Json::Str(self.commit.clone())),
+        ])
+    }
+}
+
+fn hostname() -> String {
+    std::fs::read_to_string("/etc/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Resolves the checkout's `HEAD` by reading `.git` directly (no `git`
+/// subprocess): walk up from the working directory to the first ancestor
+/// with a `.git` directory, follow one level of `ref:` indirection, and
+/// fall back to `packed-refs`. Truncated to 12 hex characters.
+fn git_commit() -> String {
+    fn read_head(git: &std::path::Path) -> Option<String> {
+        let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+        let head = head.trim();
+        let sha = match head.strip_prefix("ref: ") {
+            None => head.to_string(),
+            Some(r) => match std::fs::read_to_string(git.join(r)) {
+                Ok(s) => s.trim().to_string(),
+                Err(_) => {
+                    // Ref packed away: scan packed-refs for "<sha> <ref>".
+                    let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+                    packed
+                        .lines()
+                        .find_map(|l| l.strip_suffix(r).map(|sha| sha.trim().to_string()))?
+                }
+            },
+        };
+        let short: String = sha.chars().take(12).collect();
+        (short.len() == 12 && short.chars().all(|c| c.is_ascii_hexdigit())).then_some(short)
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.ancestors()
+        .find(|a| a.join(".git").is_dir())
+        .and_then(|a| read_head(&a.join(".git")))
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// The directory perf artifacts are written to: `PROFESS_RESULTS_DIR`,
@@ -192,16 +288,22 @@ pub fn results_dir() -> PathBuf {
 /// Collects one run's perf numbers and writes `results/BENCH_<name>.json`.
 ///
 /// The artifact records the wall time from [`BenchJson::start`] to
-/// [`BenchJson::finish`], an ops count supplied by the caller (the
-/// figure binaries count simulations; [`Runner::finish_json`] counts
-/// timed samples), the derived ops/sec, and the worker-thread count the
-/// sweeps ran with, so speedups across changes and thread counts can be
-/// compared offline.
+/// [`BenchJson::finish`], two *separate* work counters — `sim_ops`
+/// (simulations completed, supplied by the figure binaries via
+/// [`BenchJson::add_sim_ops`]) and `harness_samples` (timed benchmark
+/// iterations, counted by [`Runner::finish_json`]) — the worker-thread
+/// count the sweeps ran with, and a [`RunMeta`] provenance block. The
+/// derived `sim_ops_per_sec` divides only simulation work by wall time,
+/// so trend comparisons measure simulator throughput, never the
+/// harness's own sampling effort. (Earlier artifacts carried a single
+/// `ops` field that conflated the two.)
 #[derive(Debug)]
 pub struct BenchJson {
     name: String,
     threads: usize,
-    ops: u64,
+    sim_ops: u64,
+    harness_samples: u64,
+    meta: RunMeta,
     started: Instant,
     results: Vec<(String, BenchStats)>,
     cells: Option<Vec<Json>>,
@@ -215,7 +317,9 @@ impl BenchJson {
         BenchJson {
             name: name.to_string(),
             threads: profess_par::default_threads(),
-            ops: 0,
+            sim_ops: 0,
+            harness_samples: 0,
+            meta: RunMeta::collect(),
             started: Instant::now(),
             results: Vec::new(),
             cells: None,
@@ -223,9 +327,15 @@ impl BenchJson {
         }
     }
 
-    /// Adds `n` to the ops counter (e.g. simulations completed).
-    pub fn add_ops(&mut self, n: u64) {
-        self.ops += n;
+    /// Adds `n` completed simulations to the `sim_ops` counter.
+    pub fn add_sim_ops(&mut self, n: u64) {
+        self.sim_ops += n;
+    }
+
+    /// Adds `n` timed harness iterations to the `harness_samples`
+    /// counter (kept apart from `sim_ops` — see the type docs).
+    pub fn add_harness_samples(&mut self, n: u64) {
+        self.harness_samples += n;
     }
 
     /// Attaches one [`Runner`] benchmark summary to the artifact.
@@ -287,16 +397,18 @@ impl BenchJson {
     pub fn finish_into(self, dir: &std::path::Path) {
         let wall = self.started.elapsed().as_secs_f64();
         let per_sec = if wall > 0.0 {
-            self.ops as f64 / wall
+            self.sim_ops as f64 / wall
         } else {
             0.0
         };
         let mut pairs = vec![
             ("bench", Json::Str(self.name.clone())),
             ("threads", Json::UInt(self.threads as u64)),
+            ("meta", self.meta.to_json()),
             ("wall_seconds", Json::Num(wall)),
-            ("ops", Json::UInt(self.ops)),
-            ("ops_per_sec", Json::Num(per_sec)),
+            ("sim_ops", Json::UInt(self.sim_ops)),
+            ("sim_ops_per_sec", Json::Num(per_sec)),
+            ("harness_samples", Json::UInt(self.harness_samples)),
             (
                 "results",
                 Json::Arr(
@@ -506,7 +618,8 @@ mod tests {
     fn bench_json_artifact_round_trips() {
         let dir = std::env::temp_dir().join(format!("profess_bench_json_{}", std::process::id()));
         let mut bj = BenchJson::start("unit");
-        bj.add_ops(42);
+        bj.add_sim_ops(42);
+        bj.add_harness_samples(3);
         bj.push_result(
             "sub",
             BenchStats {
@@ -520,9 +633,21 @@ mod tests {
         let raw = std::fs::read_to_string(dir.join("BENCH_unit.json")).expect("artifact written");
         let json = Json::parse(&raw).expect("valid JSON");
         assert_eq!(json.get("bench"), Some(&Json::Str("unit".into())));
-        assert_eq!(json.get("ops"), Some(&Json::UInt(42)));
+        assert_eq!(json.get("sim_ops"), Some(&Json::UInt(42)));
+        assert_eq!(json.get("harness_samples"), Some(&Json::UInt(3)));
         assert!(matches!(json.get("threads"), Some(Json::UInt(n)) if *n >= 1));
-        assert!(json.get("wall_seconds").is_some() && json.get("ops_per_sec").is_some());
+        assert!(json.get("wall_seconds").is_some() && json.get("sim_ops_per_sec").is_some());
+        // Provenance block: every field present, never empty (worst case
+        // the literal "unknown").
+        let Some(meta) = json.get("meta") else {
+            panic!("meta block missing");
+        };
+        for field in ["hostname", "os", "arch", "rustc", "commit"] {
+            assert!(
+                matches!(meta.get(field), Some(Json::Str(s)) if !s.is_empty()),
+                "meta.{field} missing or empty"
+            );
+        }
         let Some(Json::Arr(results)) = json.get("results") else {
             panic!("results array missing");
         };

@@ -912,7 +912,8 @@ pub fn normalized_sweep_supervised(
 /// Number of simulations a [`normalized_sweep_on`] call launches for
 /// `policies = [PoM, policy]` over `workloads`: the deduplicated solo
 /// warming runs plus two multiprogram runs per workload. Used by the
-/// figure binaries as the "ops" count of their `BENCH_*.json` artifact.
+/// figure binaries as the `sim_ops` count of their `BENCH_*.json`
+/// artifact.
 pub fn sweep_sim_count(policies: &[PolicyKind], workloads: &[Workload]) -> u64 {
     let mut solo: Vec<(&'static str, SpecProgram)> = Vec::new();
     for &pk in policies {

@@ -18,13 +18,12 @@
 //! rather than a sampled subset — which favours the baseline and thus
 //! makes the reproduction's MDM-vs-PoM comparisons conservative.
 
-use std::collections::BTreeMap;
-
 use profess_metrics::Json;
 use profess_types::config::PomParams;
-use profess_types::ids::ProgramId;
+use profess_types::ids::{ProgramId, SlotIdx};
 
 use super::{AccessCtx, Decision, MigrationPolicy};
+use crate::flat::EpochTable;
 use crate::regions::RegionClass;
 use crate::snapshot::{get_arr, get_u64, u64_from};
 
@@ -38,8 +37,9 @@ pub struct PomPolicy {
     threshold: Option<u32>,
     served_in_epoch: u64,
     /// Weighted epoch access count per (group, original slot) for the
-    /// hypothetical benefit estimate.
-    epoch_counts: BTreeMap<(u64, u8), u64>,
+    /// hypothetical benefit estimate. Dense-indexed with slot stride
+    /// [`SlotIdx::MAX`]; epoch-stamped so `end_epoch` clears in O(1).
+    epoch_counts: EpochTable,
     hyp_swaps: Vec<u64>,
     hyp_hits: Vec<u64>,
     /// Epochs completed (diagnostics).
@@ -60,7 +60,7 @@ impl PomPolicy {
             k,
             threshold: Some(first),
             served_in_epoch: 0,
-            epoch_counts: BTreeMap::new(),
+            epoch_counts: EpochTable::new(SlotIdx::MAX as u64),
             hyp_swaps: vec![0; n],
             hyp_hits: vec![0; n],
             epochs: 0,
@@ -117,13 +117,7 @@ impl MigrationPolicy for PomPolicy {
         };
         if ctx.actual_slot.is_m2() {
             // Hypothetical benefit accounting for the epoch selector.
-            let c = self
-                .epoch_counts
-                .entry((ctx.group.0, ctx.orig_slot.0))
-                .or_insert(0);
-            let old = *c;
-            let new = old + w;
-            *c = new;
+            let (old, new) = self.epoch_counts.bump(ctx.group.0, ctx.orig_slot.0, w);
             for (i, &t) in self.params.thresholds.iter().enumerate() {
                 let t = u64::from(t);
                 if old < t && new >= t {
@@ -170,7 +164,7 @@ impl MigrationPolicy for PomPolicy {
         let counts: Vec<Json> = self
             .epoch_counts
             .iter()
-            .map(|(&(g, s), &c)| {
+            .map(|(g, s, c)| {
                 Json::Arr(vec![Json::UInt(g), Json::UInt(u64::from(s)), Json::UInt(c)])
             })
             .collect();
@@ -201,7 +195,7 @@ impl MigrationPolicy for PomPolicy {
             }
             _ => return Err("missing or invalid \"threshold\"".to_string()),
         };
-        let mut counts = BTreeMap::new();
+        let mut counts = EpochTable::new(SlotIdx::MAX as u64);
         for triple in get_arr(state, "epoch_counts")? {
             let triple = triple
                 .as_arr()
@@ -213,7 +207,9 @@ impl MigrationPolicy for PomPolicy {
             let s = u64_from(&triple[1], "epoch count slot")?;
             let s = u8::try_from(s).map_err(|_| "epoch count slot out of range".to_string())?;
             let c = u64_from(&triple[2], "epoch count value")?;
-            counts.insert((g, s), c);
+            if !counts.set(g, s, c) {
+                return Err("epoch count key out of range".to_string());
+            }
         }
         let decode_vec = |key: &str| -> Result<Vec<u64>, String> {
             let raw = get_arr(state, key)?;

@@ -14,13 +14,12 @@
 //! the Table 2 catalogue and is exercised by tests and the `ablation`
 //! tooling rather than by a paper figure.
 
-use std::collections::BTreeMap;
-
 use profess_metrics::Json;
 use profess_types::ids::ProgramId;
 use profess_types::{Cycle, GroupId};
 
 use super::{AccessCtx, Decision, MigrationPolicy};
+use crate::flat::FlatCounters;
 use crate::regions::RegionClass;
 use crate::snapshot::{get_arr, get_u64, u64_from};
 
@@ -51,8 +50,10 @@ impl Default for SilcFmParams {
 pub struct SilcFmPolicy {
     params: SilcFmParams,
     /// Aging access counters of M1-resident blocks, keyed by group (the
-    /// M1 slot's current resident is the tracked block).
-    aging: BTreeMap<u64, u32>,
+    /// M1 slot's current resident is the tracked block). Dense-indexed
+    /// by group; a present zero (set on promotion) is distinct from
+    /// absence, as it was in the map this replaced.
+    aging: FlatCounters,
     served_since_age: u64,
     locks_held: u64,
 }
@@ -62,7 +63,7 @@ impl SilcFmPolicy {
     pub fn new(params: SilcFmParams) -> Self {
         SilcFmPolicy {
             params,
-            aging: BTreeMap::new(),
+            aging: FlatCounters::new(),
             served_since_age: 0,
             locks_held: 0,
         }
@@ -71,13 +72,13 @@ impl SilcFmPolicy {
     /// Number of groups whose M1 block is currently locked.
     pub fn locked_groups(&self) -> u64 {
         self.aging
-            .values()
-            .filter(|&&c| c > self.params.lock_threshold)
+            .iter()
+            .filter(|&(_, c)| c > self.params.lock_threshold)
             .count() as u64
     }
 
     fn age_all(&mut self) {
-        self.aging.retain(|_, c| {
+        self.aging.retain(|c| {
             *c /= 2;
             *c > 0
         });
@@ -92,7 +93,7 @@ impl MigrationPolicy for SilcFmPolicy {
     fn on_access(&mut self, ctx: &mut AccessCtx<'_>) -> Decision {
         if ctx.actual_slot.is_m1() {
             // Feed the aging counter of the resident block.
-            *self.aging.entry(ctx.group.0).or_insert(0) += 1;
+            self.aging.add(ctx.group.0, 1);
             return Decision::Stay;
         }
         if ctx.entry.ac[ctx.orig_slot.index()] < self.params.threshold {
@@ -101,15 +102,17 @@ impl MigrationPolicy for SilcFmPolicy {
         // Locked M1 blocks are protected.
         let locked = self
             .aging
-            .get(&ctx.group.0)
-            .is_some_and(|&c| c > self.params.lock_threshold);
+            .get(ctx.group.0)
+            .is_some_and(|c| c > self.params.lock_threshold);
         if locked {
             self.locks_held += 1;
             Decision::Stay
         } else {
             // The incoming block replaces the tracked M1 resident; its
             // aging count restarts.
-            self.aging.insert(ctx.group.0, 0);
+            let ok = self.aging.set(ctx.group.0, 0);
+            // profess: allow(panic): hot-path keys are geometry-bounded
+            assert!(ok, "SILC-FM aging key out of range");
             Decision::Promote
         }
     }
@@ -130,7 +133,7 @@ impl MigrationPolicy for SilcFmPolicy {
         let aging: Vec<Json> = self
             .aging
             .iter()
-            .map(|(&g, &c)| Json::Arr(vec![Json::UInt(g), Json::UInt(u64::from(c))]))
+            .map(|(g, c)| Json::Arr(vec![Json::UInt(g), Json::UInt(u64::from(c))]))
             .collect();
         Some(Json::obj([
             ("aging", Json::Arr(aging)),
@@ -140,7 +143,7 @@ impl MigrationPolicy for SilcFmPolicy {
     }
 
     fn restore_state(&mut self, state: &Json) -> Result<(), String> {
-        let mut aging = BTreeMap::new();
+        let mut aging = FlatCounters::new();
         for pair in get_arr(state, "aging")? {
             let pair = pair
                 .as_arr()
@@ -151,7 +154,9 @@ impl MigrationPolicy for SilcFmPolicy {
             let g = u64_from(&pair[0], "aging group")?;
             let c = u64_from(&pair[1], "aging count")?;
             let c = u32::try_from(c).map_err(|_| "aging count out of range".to_string())?;
-            aging.insert(g, c);
+            if !aging.set(g, c) {
+                return Err("aging group out of range".to_string());
+            }
         }
         self.aging = aging;
         self.served_since_age = get_u64(state, "served_since_age")?;
@@ -282,6 +287,6 @@ mod tests {
             None,
         );
         assert_eq!(d, Decision::Promote);
-        assert_eq!(p.aging.get(&0).copied(), Some(0), "tracking restarted");
+        assert_eq!(p.aging.get(0), Some(0), "tracking restarted");
     }
 }

@@ -73,14 +73,34 @@ impl StcStats {
 }
 
 /// The STC for one channel.
+///
+/// Storage is struct-of-arrays: a flat `keys` vector (one `u64` per way
+/// slot) is scanned on lookup, and the wide `CachedEntry` payloads live
+/// in a parallel vector that is only touched on a hit. A 16-set × 8-way
+/// cache has a 1 KiB key array, so the scan stays within a cache line
+/// per set instead of striding over ~100-byte entries.
+///
+/// Each set occupies the fixed slice `[set * ways, (set + 1) * ways)` of
+/// both vectors; the first `lens[set]` slots are live, in the exact
+/// storage order of the per-set `Vec` this replaced (appends push at
+/// `len`, eviction moves the last live slot into the hole), which keeps
+/// snapshots byte-identical.
 #[derive(Debug)]
 pub struct Stc {
-    sets: Vec<Vec<CachedEntry>>,
+    /// Group key of each way slot (`EMPTY_KEY` when unoccupied).
+    keys: Vec<u64>,
+    /// Entry payloads, parallel to `keys`.
+    entries: Vec<CachedEntry>,
+    /// Live entries per set (a prefix of the set's slice).
+    lens: Vec<u32>,
     ways: usize,
     set_mask: u64,
     tick: u64,
     stats: StcStats,
 }
+
+/// Key marking an unoccupied way slot (no valid group id gets close).
+const EMPTY_KEY: u64 = u64::MAX;
 
 impl Stc {
     /// Creates an STC with `entries` total entries and `ways` ways.
@@ -96,7 +116,11 @@ impl Stc {
             "STC set count must be a power of two"
         );
         Stc {
-            sets: vec![Vec::with_capacity(ways); sets],
+            keys: vec![EMPTY_KEY; entries],
+            entries: (0..entries)
+                .map(|_| CachedEntry::new(GroupId(EMPTY_KEY), [0; SlotIdx::MAX]))
+                .collect(),
+            lens: vec![0; sets],
             ways,
             set_mask: (sets - 1) as u64,
             tick: 0,
@@ -110,15 +134,27 @@ impl Stc {
         ((group.0 >> 1) & self.set_mask) as usize
     }
 
+    /// Index of `group`'s slot within the full slot array, if cached.
+    #[inline]
+    fn slot_of(&self, group: GroupId) -> Option<usize> {
+        let set = self.set_of(group);
+        let base = set * self.ways;
+        let len = self.lens[set] as usize;
+        self.keys[base..base + len]
+            .iter()
+            .position(|&k| k == group.0)
+            .map(|j| base + j)
+    }
+
     /// Looks up a group's entry; counts a hit or miss.
+    #[inline]
     pub fn lookup(&mut self, group: GroupId) -> Option<&mut CachedEntry> {
         self.tick += 1;
         self.stats.lookups += 1;
         let tick = self.tick;
-        let set = self.set_of(group);
-        let found = self.sets[set].iter_mut().find(|e| e.group == group);
-        match found {
-            Some(e) => {
+        match self.slot_of(group) {
+            Some(i) => {
+                let e = &mut self.entries[i];
                 e.stamp = tick;
                 self.stats.hits += 1;
                 Some(e)
@@ -129,9 +165,9 @@ impl Stc {
 
     /// Accesses an entry without counting statistics (used by the swap and
     /// bookkeeping paths, which in hardware ride on the original lookup).
+    #[inline]
     pub fn peek(&mut self, group: GroupId) -> Option<&mut CachedEntry> {
-        let set = self.set_of(group);
-        self.sets[set].iter_mut().find(|e| e.group == group)
+        self.slot_of(group).map(|i| &mut self.entries[i])
     }
 
     /// Inserts an entry for `group` with insertion-time QAC values,
@@ -144,20 +180,31 @@ impl Stc {
         self.tick += 1;
         let tick = self.tick;
         let ways = self.ways;
-        let set_idx = self.set_of(group);
-        let set = &mut self.sets[set_idx];
+        let set = self.set_of(group);
+        let base = set * ways;
+        let len = self.lens[set] as usize;
         assert!(
-            !set.iter().any(|e| e.group == group),
+            !self.keys[base..base + len].contains(&group.0),
             "group {group} already cached"
         );
-        let victim = if set.len() == ways {
-            let (i, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.stamp)
-                // profess: allow(panic): guarded by `set.len() == ways`, ways >= 1
-                .expect("full set");
-            let v = set.swap_remove(i);
+        let victim = if len == ways {
+            // LRU: lowest stamp, first slot on ties (as `min_by_key` did).
+            let mut vi = 0;
+            for j in 1..len {
+                if self.entries[base + j].stamp < self.entries[base + vi].stamp {
+                    vi = j;
+                }
+            }
+            // `swap_remove`: the last live slot fills the hole.
+            let last = len - 1;
+            self.keys.swap(base + vi, base + last);
+            self.entries.swap(base + vi, base + last);
+            self.keys[base + last] = EMPTY_KEY;
+            let v = std::mem::replace(
+                &mut self.entries[base + last],
+                CachedEntry::new(GroupId(EMPTY_KEY), [0; SlotIdx::MAX]),
+            );
+            self.lens[set] -= 1;
             self.stats.evictions += 1;
             if v.dirty {
                 self.stats.dirty_evictions += 1;
@@ -166,15 +213,22 @@ impl Stc {
         } else {
             None
         };
+        let len = self.lens[set] as usize;
         let mut e = CachedEntry::new(group, q_i);
         e.stamp = tick;
-        set.push(e);
+        self.keys[base + len] = group.0;
+        self.entries[base + len] = e;
+        self.lens[set] += 1;
         victim
     }
 
-    /// Iterates over all currently cached entries.
+    /// Iterates over all currently cached entries (set order, storage
+    /// order within each set).
     pub fn iter(&self) -> impl Iterator<Item = &CachedEntry> {
-        self.sets.iter().flatten()
+        self.lens.iter().enumerate().flat_map(move |(set, &len)| {
+            let base = set * self.ways;
+            self.entries[base..base + len as usize].iter()
+        })
     }
 
     /// Statistics so far.
@@ -187,11 +241,14 @@ impl Stc {
     /// replay), the LRU tick, and the statistics.
     pub(crate) fn snapshot_json(&self) -> Json {
         let sets: Vec<Json> = self
-            .sets
+            .lens
             .iter()
-            .map(|set| {
+            .enumerate()
+            .map(|(set, &len)| {
+                let base = set * self.ways;
                 Json::Arr(
-                    set.iter()
+                    self.entries[base..base + len as usize]
+                        .iter()
                         .map(|e| {
                             Json::obj([
                                 ("group", Json::UInt(e.group.0)),
@@ -234,15 +291,20 @@ impl Stc {
     /// must have been built with the same geometry).
     pub(crate) fn restore_json(&mut self, j: &Json) -> Result<(), String> {
         let sets_raw = get_arr(j, "sets")?;
-        if sets_raw.len() != self.sets.len() {
+        if sets_raw.len() != self.lens.len() {
             return Err(format!(
                 "STC set count mismatch: snapshot has {}, cache has {}",
                 sets_raw.len(),
-                self.sets.len()
+                self.lens.len()
             ));
         }
-        let mut sets: Vec<Vec<CachedEntry>> = Vec::with_capacity(sets_raw.len());
-        for set_raw in sets_raw {
+        let total = self.lens.len() * self.ways;
+        let mut keys = vec![EMPTY_KEY; total];
+        let mut flat: Vec<CachedEntry> = (0..total)
+            .map(|_| CachedEntry::new(GroupId(EMPTY_KEY), [0; SlotIdx::MAX]))
+            .collect();
+        let mut lens = vec![0u32; self.lens.len()];
+        for (set, set_raw) in sets_raw.iter().enumerate() {
             let entries = set_raw
                 .as_arr()
                 .ok_or_else(|| "STC set is not an array".to_string())?;
@@ -253,8 +315,8 @@ impl Stc {
                     entries.len()
                 ));
             }
-            let mut set = Vec::with_capacity(self.ways);
-            for ej in entries {
+            let base = set * self.ways;
+            for (slot, ej) in entries.iter().enumerate() {
                 let ac_raw = get_arr(ej, "ac")?;
                 let q_raw = get_arr(ej, "q_i")?;
                 if ac_raw.len() != SlotIdx::MAX || q_raw.len() != SlotIdx::MAX {
@@ -272,11 +334,14 @@ impl Stc {
                 }
                 e.dirty = get_bool(ej, "dirty")?;
                 e.stamp = get_u64(ej, "stamp")?;
-                set.push(e);
+                keys[base + slot] = e.group.0;
+                flat[base + slot] = e;
+                lens[set] += 1;
             }
-            sets.push(set);
         }
-        self.sets = sets;
+        self.keys = keys;
+        self.entries = flat;
+        self.lens = lens;
         self.tick = get_u64(j, "tick")?;
         let stats = j
             .get("stats")

@@ -22,7 +22,7 @@
 //! (fresh instance, new seed) to keep contending until the slowest
 //! finishes.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use profess_cpu::{CoreRequest, CoreSim, MemOpKind, OpSource};
 use profess_mem::{AccessKind, ChannelSim, PhysRequest, Served};
@@ -36,7 +36,7 @@ use profess_types::{Cycle, GroupId};
 
 use crate::alloc::FrameAllocator;
 use crate::errors::{BudgetResource, RunLimits, SimBudget, SimError};
-use crate::flat::{FlatPageTable, TokenRing};
+use crate::flat::{FlatPageTable, SlabQueues, TokenRing};
 use crate::org::{qac, SwapTable};
 use crate::policies::cameo::CameoPolicy;
 use crate::policies::mdm::MdmPolicy;
@@ -653,9 +653,19 @@ struct System {
     restarts: Vec<u32>,
     first_done: Vec<Option<(u64, u64, f64)>>, // (instructions, core_cycles, ipc)
     policy: Box<dyn MigrationPolicy>,
+    // Whether `policy.next_poll()` can ever return `Some`: among the
+    // builtins only MemPod polls, and a custom policy is assumed to.
+    // Caching the answer keeps the per-step poll check branch-only.
+    policy_polls: bool,
     region_map: RegionMap,
     meta: TokenRing<Origin>,
-    pending_st: BTreeMap<GroupId, Vec<PendingData>>,
+    // Requests waiting on an in-flight ST fetch, one slab-backed FIFO
+    // per group; `pending_buf` is the drain scratch reused across
+    // completions so serving waiters never allocates.
+    pending_st: SlabQueues<PendingData>,
+    pending_buf: Vec<PendingData>,
+    // Eviction-record scratch reused across STC evictions.
+    evict_buf: Vec<EvictRecord>,
     // Cached next-event times; `dirty` marks entries whose component was
     // mutated since the cache was filled and must be recomputed.
     ch_next: Vec<Cycle>,
@@ -745,6 +755,7 @@ impl System {
                 )),
             }
         };
+        let policy_polls = custom_private.is_some() || policy.next_poll().is_some();
         let mut names = Vec::new();
         let mut factories: Vec<ProgramFactory> = Vec::new();
         for (name, f) in b.programs {
@@ -808,7 +819,9 @@ impl System {
             restarts: vec![0; n_prog],
             first_done: vec![None; n_prog],
             meta: TokenRing::new(),
-            pending_st: BTreeMap::new(),
+            pending_st: SlabQueues::new(geom.num_groups() as usize),
+            pending_buf: Vec::new(),
+            evict_buf: Vec::new(),
             ch_next: vec![Cycle::ZERO; n_ch],
             ch_dirty: vec![true; n_ch],
             core_next: vec![Cycle::ZERO; n_prog],
@@ -839,6 +852,7 @@ impl System {
             names,
             factories,
             policy,
+            policy_polls,
             region_map,
         }
     }
@@ -926,8 +940,8 @@ impl System {
         if self.stcs[ch].lookup(group).is_some() {
             self.issue_data(pending, group);
         } else {
-            let first_miss = !self.pending_st.contains_key(&group);
-            self.pending_st.entry(group).or_default().push(pending);
+            let first_miss = !self.pending_st.has(group.0 as usize);
+            self.pending_st.push(group.0 as usize, pending);
             if first_miss {
                 let loc = self.geom.st_entry_loc(group);
                 let token = self.token(Origin::StFetch { channel: ch, group });
@@ -946,7 +960,8 @@ impl System {
     /// Processes an evicted STC entry: QAC write-back, MDM statistics, and
     /// the ST write to M1.
     fn finish_eviction(&mut self, victim: CachedEntry, channel: usize) {
-        let mut records = Vec::new();
+        let mut records = std::mem::take(&mut self.evict_buf);
+        records.clear();
         let mut qac_changed = false;
         for slot in SlotIdx::up_to(self.geom.slots_per_group()) {
             let count = victim.ac[slot.index()];
@@ -972,6 +987,7 @@ impl System {
         if !records.is_empty() {
             self.policy.on_stc_evict(&records);
         }
+        self.evict_buf = records;
         if victim.dirty || qac_changed {
             // Read-modify-write of the 8 B entry: the write back to M1.
             let loc = self.geom.st_entry_loc(victim.group);
@@ -1058,11 +1074,12 @@ impl System {
                 if let Some(victim) = self.stcs[channel].insert(group, q_i) {
                     self.finish_eviction(victim, channel);
                 }
-                if let Some(waiters) = self.pending_st.remove(&group) {
-                    for p in waiters {
-                        self.issue_data(p, group);
-                    }
+                let mut waiters = std::mem::take(&mut self.pending_buf);
+                self.pending_st.drain_into(group.0 as usize, &mut waiters);
+                for p in waiters.drain(..) {
+                    self.issue_data(p, group);
                 }
+                self.pending_buf = waiters;
             }
             Origin::Data {
                 core,
@@ -1113,7 +1130,10 @@ impl System {
                     return;
                 };
                 entry.bump(orig_slot, w, ac_max);
-                let entry_snapshot: &CachedEntry = &entry.clone();
+                // Downgraded to a shared borrow: the policy sees the entry
+                // read-only while mutating the ST entry, and the disjoint
+                // field borrows make the old per-access clone unnecessary.
+                let entry_snapshot: &CachedEntry = entry;
                 let st_entry = self.st.entry_mut(group);
                 let actual_slot = st_entry.actual_of(orig_slot);
                 let m1_resident = st_entry.resident_of(SlotIdx::M1);
@@ -1205,7 +1225,7 @@ impl System {
 
     /// MemPod interval migrations.
     fn run_poll(&mut self) {
-        if self.policy.next_poll().is_none() {
+        if !self.policy_polls || self.policy.next_poll().is_none() {
             return;
         }
         let now = self.clock;
@@ -1290,11 +1310,11 @@ impl System {
         ]);
         let pending: Vec<Json> = self
             .pending_st
-            .iter()
-            .map(|(g, ps)| {
+            .non_empty_queues()
+            .map(|q| {
                 Json::Arr(vec![
-                    Json::UInt(g.0),
-                    Json::Arr(ps.iter().map(pending_to_json).collect()),
+                    Json::UInt(q as u64),
+                    Json::Arr(self.pending_st.queue_iter(q).map(pending_to_json).collect()),
                 ])
             })
             .collect();
@@ -1471,7 +1491,7 @@ impl System {
             });
         }
         self.meta = TokenRing::from_raw_parts(slots, base);
-        self.pending_st.clear();
+        self.pending_st = SlabQueues::new(num_groups as usize);
         for entry in get_arr(p, "pending_st").map_err(corrupt)? {
             let xs = entry.as_arr().filter(|xs| xs.len() == 2).ok_or_else(|| {
                 corrupt("pending_st: expected [group, waiters] pairs".to_string())
@@ -1487,7 +1507,7 @@ impl System {
                 .map(|w| pending_from_json(w, n_prog))
                 .collect::<Result<Vec<PendingData>, String>>()
                 .map_err(corrupt)?;
-            self.pending_st.insert(GroupId(g), waiters);
+            self.pending_st.set_queue(g as usize, waiters);
         }
         // The cached next-event times were valid (not dirty) at the
         // snapshot boundary; restoring them verbatim with the dirty
@@ -1536,13 +1556,19 @@ impl System {
             // Skipped channels are exactly those for which advance would
             // be a no-op (`next_event` contract), so the served stream is
             // identical to advancing every channel every step.
+            let mut contributors = 0u32;
             for i in 0..self.channels.len() {
                 if self.ch_dirty[i] || self.ch_next[i] <= self.clock {
+                    let before = served_buf.len();
                     self.channels[i].advance(self.clock, &mut served_buf);
                     self.ch_dirty[i] = true;
+                    contributors += u32::from(served_buf.len() > before);
                 }
             }
-            if served_buf.len() > 1 {
+            if contributors > 1 && served_buf.len() > 1 {
+                // Each channel appended its completions already sorted,
+                // so the merge sort is only needed when more than one
+                // channel contributed this step.
                 // (done, id) is unique, so unstable == stable here.
                 served_buf.sort_unstable_by_key(|s| (s.done, s.id));
             }
@@ -1609,13 +1635,15 @@ impl System {
                 }
                 t = t.min(self.core_next[i]);
             }
-            if let Some(p) = self.policy.next_poll() {
-                t = t.min(p.max(self.clock + 1));
+            if self.policy_polls {
+                if let Some(p) = self.policy.next_poll() {
+                    t = t.min(p.max(self.clock + 1));
+                }
             }
             if t >= Cycle::NEVER {
                 return Err(SimError::Deadlock {
                     cycle: self.clock.raw(),
-                    pending_st: self.pending_st.len(),
+                    pending_st: self.pending_st.non_empty(),
                     tokens: self.meta.len(),
                 });
             }
@@ -1635,7 +1663,7 @@ impl System {
                     "[profess-core] truncated at cycle {}: pending_st={} tokens={} \
                      queues={:?} core_waits={:?}",
                     self.clock,
-                    self.pending_st.len(),
+                    self.pending_st.non_empty(),
                     self.meta.len(),
                     self.channels
                         .iter()

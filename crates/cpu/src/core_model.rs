@@ -191,6 +191,7 @@ impl CoreSim {
 
     /// `true` once the program is exhausted and all its memory traffic has
     /// drained.
+    #[inline]
     pub fn is_finished(&self) -> bool {
         matches!(self.wait, WaitState::Finished)
     }
@@ -264,6 +265,7 @@ impl CoreSim {
     }
 
     /// Delivers a memory response for request `id` at memory cycle `at`.
+    #[inline]
     pub fn complete(&mut self, id: u64, at: Cycle) {
         let slot = at.raw() * self.spmc;
         if let Some(l) = self.inflight.iter_mut().find(|l| l.seq == id) {
@@ -431,6 +433,7 @@ impl CoreSim {
     /// The next memory cycle at which the core can make progress on its
     /// own, or [`Cycle::NEVER`] if it waits for a memory response (or has
     /// finished).
+    #[inline]
     pub fn next_event(&self, now: Cycle) -> Cycle {
         match self.wait {
             WaitState::Ready => now + 1,

@@ -52,6 +52,7 @@ pub struct BankSchedule {
 impl BankState {
     /// Computes when this bank could issue the column command for an access
     /// to `row` if scheduling started at `now`, without mutating state.
+    #[inline]
     pub fn plan(&self, t: &TechTiming, row: u64, now: Cycle) -> BankSchedule {
         match self.open_row {
             Some(open) if open == row => {

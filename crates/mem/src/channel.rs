@@ -8,7 +8,7 @@ use profess_types::config::{EnergyConfig, MemTimingConfig, TechTiming};
 use profess_types::geometry::{MemLoc, Module};
 use profess_types::Cycle;
 
-use crate::bank::BankState;
+use crate::bank::{BankSchedule, BankState};
 use crate::energy::EnergyCounters;
 use crate::request::{AccessKind, PhysRequest, Served};
 use crate::stats::ChannelStats;
@@ -28,6 +28,22 @@ pub struct ChannelObs {
 struct Queued {
     req: PhysRequest,
     enq: Cycle,
+}
+
+/// Cached per-queue [`ChannelSim::next_event`] contributions, valid only
+/// at cycle `at` while the channel is unblocked.
+///
+/// [`ChannelSim::advance`] ends its issue loop with both queues refusing
+/// to start anything; the refusal cycles it computed are exactly what
+/// `next_event` would re-derive by scanning both queues again, so they
+/// are recorded here instead. [`ChannelSim::push`] folds a new request's
+/// contribution in incrementally (it cannot change any existing entry's
+/// plan), and every other state mutation drops the hint.
+#[derive(Debug, Clone, Copy)]
+struct SchedHint {
+    at: Cycle,
+    read: Cycle,
+    write: Cycle,
 }
 
 /// How far beyond "now" the scheduler may commit a request's first command.
@@ -52,6 +68,11 @@ pub struct ChannelSim {
     write_q: Vec<Queued>,
     inflight: Vec<Served>,
     draining_writes: bool,
+    sched_hint: Option<SchedHint>,
+    // Earliest `done` among `inflight` ([`Cycle::NEVER`] when empty),
+    // maintained by `issue`/`drain_done` so `next_event` is O(1) on the
+    // in-flight set.
+    inflight_min_done: Cycle,
     next_refresh: Cycle,
     lines_per_block: u64,
     energy: EnergyCounters,
@@ -80,6 +101,8 @@ impl ChannelSim {
             write_q: Vec::new(),
             inflight: Vec::new(),
             draining_writes: false,
+            sched_hint: None,
+            inflight_min_done: Cycle::NEVER,
             next_refresh,
             lines_per_block,
             energy: EnergyCounters::default(),
@@ -105,20 +128,83 @@ impl ChannelSim {
     pub fn push(&mut self, req: PhysRequest, now: Cycle) {
         // The outer loop advances channels lazily, so banks may be
         // refresh-stale here; any plan over this request must see the
-        // same bank state an eagerly advanced channel would.
-        self.run_refresh(now);
+        // same bank state an eagerly advanced channel would. A fired
+        // refresh rewrites bank state, so the hint cannot survive it.
+        if self.next_refresh <= now {
+            self.sched_hint = None;
+            self.run_refresh(now);
+        }
         let q = Queued { req, enq: now };
         match req.kind {
             AccessKind::Read => self.read_q.push(q),
             AccessKind::Write => self.write_q.push(q),
         }
+        self.note_push(&q, now);
         let depth = (self.read_q.len() + self.write_q.len()) as u64;
         if let Some(obs) = &mut self.obs {
             obs.queue_depth.record(depth);
         }
     }
 
+    /// Folds a just-pushed request into the scheduling hint.
+    ///
+    /// A push cannot alter any existing entry's plan (bank and bus state
+    /// are untouched) and, being the youngest entry, cannot become the
+    /// older starved request that unskips a capped row hit — so the only
+    /// delta versus the recorded refusal cycles is the new entry's own
+    /// contribution: its first-command cycle if it cannot start at
+    /// `now`, `now + 1` if it can (the queue pick would return `Ok`),
+    /// and nothing at all if the cap forces it to yield.
+    fn note_push(&mut self, q: &Queued, now: Cycle) {
+        let Some(h) = self.sched_hint else {
+            return;
+        };
+        if h.at != now {
+            self.sched_hint = None;
+            return;
+        }
+        // Refusal cycles are strictly after `now`, so a queue already at
+        // `now + 1` cannot get earlier — skip planning the new entry.
+        let queue_at = match q.req.kind {
+            AccessKind::Read => h.read,
+            AccessKind::Write => h.write,
+        };
+        if queue_at <= now + 1 {
+            return;
+        }
+        let (first_cmd, p) = self.plan(q, now);
+        let contribution = if first_cmd.raw() > now.raw() + ISSUE_SLACK {
+            first_cmd
+        } else {
+            let capped = p.row_hit && self.bank(q.req.loc).hit_streak >= self.timing.frfcfs_cap;
+            let yields = capped && {
+                let queue = match q.req.kind {
+                    AccessKind::Read => &self.read_q,
+                    AccessKind::Write => &self.write_q,
+                };
+                queue.iter().any(|o| {
+                    o.req.loc.module == q.req.loc.module
+                        && o.req.loc.bank == q.req.loc.bank
+                        && o.req.loc.row != q.req.loc.row
+                        && o.enq < q.enq
+                })
+            };
+            if yields {
+                Cycle::NEVER
+            } else {
+                now + 1
+            }
+        };
+        // profess: allow(panic): checked Some above; no mutation since
+        let h = self.sched_hint.as_mut().expect("hint present");
+        match q.req.kind {
+            AccessKind::Read => h.read = h.read.min(contribution),
+            AccessKind::Write => h.write = h.write.min(contribution),
+        }
+    }
+
     /// Number of queued (not yet scheduled) requests.
+    #[inline]
     pub fn queue_len(&self) -> usize {
         self.read_q.len() + self.write_q.len()
     }
@@ -203,45 +289,54 @@ impl ChannelSim {
     /// of run so refresh (and its energy) is accounted to the same final
     /// cycle as a channel that was advanced every step.
     pub fn catch_up_refresh(&mut self, now: Cycle) {
+        self.sched_hint = None;
         self.run_refresh(now);
     }
 
-    /// Plans a queued request: returns (first command cycle, data start,
-    /// data end, row hit, activates).
-    fn plan(&self, q: &Queued, now: Cycle) -> (Cycle, Cycle, Cycle, bool, bool) {
+    /// Plans a queued request: returns the cycle its first command can
+    /// issue (what gates scheduling) and the bank schedule itself, so a
+    /// picked winner can be committed without re-planning.
+    #[inline]
+    fn plan(&self, q: &Queued, now: Cycle) -> (Cycle, BankSchedule) {
         let t = self.tech(q.req.loc.module);
         let bank = self.bank(q.req.loc);
         let p = bank.plan(t, q.req.loc.row, now);
-        let data_start = (p.cas_at + t.t_cl).max(self.bus_free);
-        let data_end = data_start + t.t_burst;
         let first_cmd = if p.activates {
             // The precharge/activate chain start gates issue.
             p.first_cmd
         } else {
             // A row hit's only command is the CAS, which issues t_cl before
             // its data slot on the bus.
+            let data_start = (p.cas_at + t.t_cl).max(self.bus_free);
             data_start - Cycle(t.t_cl)
         };
-        (first_cmd, data_start, data_end, p.row_hit, p.activates)
+        (first_cmd, p)
     }
 
     /// Picks the FR-FCFS-Cap winner among `queue`: oldest capped row hit,
     /// else oldest request, considering only requests whose first command
     /// can issue by `now`. Returns (index, plan) or the earliest cycle a
     /// candidate could start.
-    fn pick(&self, queue: &[Queued], now: Cycle) -> Result<usize, Cycle> {
+    fn pick(&self, queue: &[Queued], now: Cycle) -> Result<(usize, BankSchedule), Cycle> {
         let cap = self.timing.frfcfs_cap;
-        let mut best_hit: Option<(usize, Cycle)> = None;
-        let mut best_any: Option<(usize, Cycle)> = None;
+        // Queues are enq-ordered (pushes append at non-decreasing cycles
+        // and removals keep relative order), so "oldest" is simply "first
+        // found": the scan can return at the first eligible row hit, and
+        // `earliest` only matters once no entry is startable at all.
+        let mut best_any: Option<(usize, BankSchedule)> = None;
         let mut earliest = Cycle::NEVER;
         for (i, q) in queue.iter().enumerate() {
-            let (first_cmd, _, _, row_hit, _) = self.plan(q, now);
+            let (first_cmd, p) = self.plan(q, now);
             if first_cmd.raw() > now.raw() + ISSUE_SLACK {
-                earliest = earliest.min(first_cmd);
+                if best_any.is_none() {
+                    earliest = earliest.min(first_cmd);
+                }
                 continue;
             }
-            let streak_ok = self.bank(q.req.loc).hit_streak < cap;
-            if row_hit && !streak_ok {
+            if p.row_hit {
+                if self.bank(q.req.loc).hit_streak < cap {
+                    return Ok((i, p));
+                }
                 // FR-FCFS-Cap: after `cap` consecutive hits, further hits
                 // must yield to an older conflicting request on the same
                 // bank (otherwise the open row would starve it forever).
@@ -255,24 +350,19 @@ impl ChannelSim {
                     continue;
                 }
             }
-            if row_hit && streak_ok && best_hit.map_or(true, |(_, e)| q.enq < e) {
-                best_hit = Some((i, q.enq));
-            }
-            if best_any.map_or(true, |(_, e)| q.enq < e) {
-                best_any = Some((i, q.enq));
+            if best_any.is_none() {
+                best_any = Some((i, p));
             }
         }
-        match best_hit.or(best_any) {
-            Some((i, _)) => Ok(i),
-            None => Err(earliest),
-        }
+        best_any.ok_or(earliest)
     }
 
-    /// Commits one queued request to the timing model.
-    fn issue(&mut self, q: Queued, now: Cycle) {
+    /// Commits one queued request to the timing model. `p` is the
+    /// winner's plan as computed by [`ChannelSim::pick`] at the same
+    /// cycle; nothing mutates bank or bus state between pick and issue,
+    /// so reusing it is exactly the re-plan the old code performed.
+    fn issue(&mut self, q: Queued, p: BankSchedule) {
         let t = *self.tech(q.req.loc.module);
-        let bank = self.bank(q.req.loc);
-        let p = bank.plan(&t, q.req.loc.row, now);
         let data_start = (p.cas_at + t.t_cl).max(self.bus_free);
         let data_end = data_start + t.t_burst;
         let row = q.req.loc.row;
@@ -317,6 +407,7 @@ impl ChannelSim {
         if p.row_hit {
             self.stats.row_hits += 1;
         }
+        self.inflight_min_done = self.inflight_min_done.min(data_end);
         self.inflight.push(Served {
             id: q.req.id,
             kind: q.req.kind,
@@ -340,12 +431,28 @@ impl ChannelSim {
     pub fn advance(&mut self, now: Cycle, served: &mut Vec<Served>) {
         self.run_refresh(now);
         if self.blocked_until > now {
+            self.sched_hint = None;
+            self.drain_done(now, served);
+            return;
+        }
+        if self.read_q.is_empty() && self.write_q.is_empty() {
+            // Nothing to schedule: an empty pass through the issue loop,
+            // with the drain-mode update it would have applied.
+            self.update_drain_mode();
+            self.sched_hint = Some(SchedHint {
+                at: now,
+                read: Cycle::NEVER,
+                write: Cycle::NEVER,
+            });
             self.drain_done(now, served);
             return;
         }
         // Issue loop: schedule every request whose command chain can start
-        // by `now`, respecting read priority and write draining.
-        loop {
+        // by `now`, respecting read priority and write draining. The loop
+        // only ends once both queues refuse, and those two refusal cycles
+        // are this cycle's `next_event` queue contributions — cache them
+        // so `next_event` needn't rescan the queues.
+        self.sched_hint = loop {
             self.update_drain_mode();
             let use_writes =
                 self.draining_writes || (self.read_q.is_empty() && !self.write_q.is_empty());
@@ -355,15 +462,15 @@ impl ChannelSim {
                 (false, self.pick(&self.read_q, now))
             };
             match res {
-                Ok(i) => {
+                Ok((i, p)) => {
                     let q = if primary_is_writes {
                         self.write_q.remove(i)
                     } else {
                         self.read_q.remove(i)
                     };
-                    self.issue(q, now);
+                    self.issue(q, p);
                 }
-                Err(_) => {
+                Err(primary_at) => {
                     // Primary queue cannot start anything; try the other
                     // queue opportunistically (reads during drain stalls,
                     // writes when no read can start).
@@ -373,32 +480,49 @@ impl ChannelSim {
                         self.pick(&self.write_q, now)
                     };
                     match other {
-                        Ok(i) => {
+                        Ok((i, p)) => {
                             let q = if primary_is_writes {
                                 self.read_q.remove(i)
                             } else {
                                 self.write_q.remove(i)
                             };
-                            self.issue(q, now);
+                            self.issue(q, p);
                         }
-                        Err(_) => break,
+                        Err(other_at) => {
+                            let (read, write) = if primary_is_writes {
+                                (other_at, primary_at)
+                            } else {
+                                (primary_at, other_at)
+                            };
+                            break Some(SchedHint {
+                                at: now,
+                                read,
+                                write,
+                            });
+                        }
                     }
                 }
             }
-        }
+        };
         self.drain_done(now, served);
     }
 
     fn drain_done(&mut self, now: Cycle, served: &mut Vec<Served>) {
+        if self.inflight_min_done > now {
+            return;
+        }
         let mut i = 0;
         let before = served.len();
+        let mut min_done = Cycle::NEVER;
         while i < self.inflight.len() {
             if self.inflight[i].done <= now {
                 served.push(self.inflight.swap_remove(i));
             } else {
+                min_done = min_done.min(self.inflight[i].done);
                 i += 1;
             }
         }
+        self.inflight_min_done = min_done;
         // (done, id) is unique per request, so an unstable sort is
         // order-equivalent; most advances complete at most one request
         // and skip the sort entirely.
@@ -410,13 +534,13 @@ impl ChannelSim {
     /// The next cycle (strictly after `now`) at which channel state can
     /// change: a completion, a possible issue, the end of a swap, or a
     /// refresh. Returns [`Cycle::NEVER`] if fully idle.
+    #[inline]
     pub fn next_event(&self, now: Cycle) -> Cycle {
-        let mut t = Cycle::NEVER;
-        for s in &self.inflight {
-            t = t.min(s.done);
-        }
+        let mut t = self.inflight_min_done;
         if self.blocked_until > now {
             t = t.min(self.blocked_until);
+        } else if let Some(h) = self.sched_hint.filter(|h| h.at == now) {
+            t = t.min(h.read).min(h.write);
         } else {
             if let Err(e) = self.pick(&self.read_q, now) {
                 t = t.min(e);
@@ -442,7 +566,7 @@ impl ChannelSim {
             .iter()
             .chain(self.write_q.iter())
             .map(|q| {
-                let (first_cmd, _, _, _, _) = self.plan(q, now);
+                let (first_cmd, _) = self.plan(q, now);
                 (
                     q.req.id,
                     q.req.kind,
@@ -485,6 +609,7 @@ impl ChannelSim {
         assert_eq!(m2_loc.module, Module::M2, "second swap location must be M2");
         // As in `push`: apply pending refreshes before reading bank state,
         // so a lazily advanced channel plans the swap like an eager one.
+        self.sched_hint = None;
         self.run_refresh(now);
         let start = now
             .max(self.bus_free)
@@ -599,7 +724,13 @@ impl ChannelSim {
             .iter()
             .map(served_from_json)
             .collect::<Result<_, _>>()?;
+        self.inflight_min_done = self
+            .inflight
+            .iter()
+            .map(|s| s.done)
+            .fold(Cycle::NEVER, Cycle::min);
         self.draining_writes = get_bool(snap, "draining_writes")?;
+        self.sched_hint = None;
         self.next_refresh = Cycle(get_u64(snap, "next_refresh")?);
         let e = get_u64_array::<7>(snap, "energy")?;
         self.energy = EnergyCounters {

@@ -38,6 +38,27 @@ PROFESS_RESULTS_DIR="$smoke_dir" \
     cargo run --release --offline -q -p profess-bench --bin fig05 -- 200 > /dev/null
 test -s "$smoke_dir/BENCH_fig05.json"
 
+# Bench trend gate (DESIGN.md §12): first prove the comparator itself —
+# the committed synthetic >15% regression fixture MUST fail (exit 2) and
+# the within-threshold fixture must pass — then gate the fresh engine
+# bench against the committed results/ baseline. PROFESS_BENCH_BASELINE
+# overrides the baseline directory for intentional trajectory resets.
+echo "==> bench trend gate (benchgate: fixture self-check + engine bench)"
+gate_fixtures="crates/bench/tests/fixtures/benchgate"
+rc=0
+cargo run --release --offline -q -p profess-bench --bin benchgate -- \
+    --baseline "$gate_fixtures/baseline" \
+    "$gate_fixtures/fresh-regressed/BENCH_gatecheck.json" > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 2  # a missed synthetic regression means the gate is dead
+cargo run --release --offline -q -p profess-bench --bin benchgate -- \
+    --baseline "$gate_fixtures/baseline" \
+    "$gate_fixtures/fresh-ok/BENCH_gatecheck.json" > /dev/null
+PROFESS_RESULTS_DIR="$smoke_dir" PROFESS_BENCH_SAMPLES=7 \
+    cargo bench --offline -q -p profess-bench --bench engine -- end_to_end \
+    > /dev/null
+cargo run --release --offline -q -p profess-bench --bin benchgate -- \
+    "$smoke_dir/BENCH_engine.json"
+
 # Traced smoke: the same figure with --trace must write a well-formed
 # TRACE_fig05.jsonl containing every event kind the tracer promises.
 # The budget must exceed the scaled RSM sampling period (m_samp = 8K):
