@@ -12,8 +12,12 @@
 //! 2. `--bin` arguments against the `src/bin/*.rs` (and `src/main.rs`)
 //!    targets on disk;
 //! 3. `--example` arguments against `examples/*.rs`;
-//! 4. bare `wNN` tokens against the workload ids declared in
-//!    `crates/trace/src/workload.rs` (`id: "wNN"` literals).
+//! 4. bare workload-id tokens against the ids declared in
+//!    `crates/trace/src/workload.rs` (`id: "..."` literals). A token is
+//!    judged when it has the shape `<prefix><digits>` and `<prefix>` is
+//!    one the declared ids actually use (`w01` → `w`, `churn01` →
+//!    `churn`), so family ids are checked without dragging every
+//!    `fig05`-style word into the lint.
 //!
 //! Not suppressible: a doc that names a phantom command has no
 //! legitimate reason to keep doing so.
@@ -109,6 +113,7 @@ fn check_doc(
     workload_ids: &[String],
     out: &mut Vec<Diagnostic>,
 ) {
+    let prefixes = workload_prefixes(workload_ids);
     for (i, raw) in text.lines().enumerate() {
         let lineno = i as u32 + 1;
         if let Some(pos) = raw.find("cargo run") {
@@ -123,7 +128,7 @@ fn check_doc(
             );
         }
         for word in words(raw) {
-            if is_workload_token(&word)
+            if is_workload_token(&word, &prefixes)
                 && !workload_ids.is_empty()
                 && !workload_ids.iter().any(|id| *id == word)
             {
@@ -195,9 +200,39 @@ fn words(line: &str) -> Vec<String> {
         .collect()
 }
 
-/// `w` followed by only digits (at least two): a workload id reference.
-fn is_workload_token(w: &str) -> bool {
-    w.len() >= 3 && w.starts_with('w') && w[1..].chars().all(|c| c.is_ascii_digit())
+/// The distinct alphabetic prefixes of the declared workload ids
+/// (`w01` → `w`, `churn01` → `churn`). Ids without a digit suffix
+/// contribute nothing.
+fn workload_prefixes(ids: &[String]) -> Vec<String> {
+    let mut prefixes: Vec<String> = Vec::new();
+    for id in ids {
+        let Some((prefix, digits)) = split_id(id) else {
+            continue;
+        };
+        if digits.len() >= 2 && !prefixes.iter().any(|p| p == prefix) {
+            prefixes.push(prefix.to_string());
+        }
+    }
+    prefixes
+}
+
+/// Splits `<alpha><digits>` into its halves; `None` for any other shape.
+fn split_id(w: &str) -> Option<(&str, &str)> {
+    let cut = w.find(|c: char| c.is_ascii_digit())?;
+    let (prefix, digits) = w.split_at(cut);
+    (!prefix.is_empty()
+        && prefix.chars().all(|c| c.is_ascii_lowercase())
+        && digits.chars().all(|c| c.is_ascii_digit()))
+    .then_some((prefix, digits))
+}
+
+/// A declared prefix followed by at least two digits: a workload id
+/// reference worth resolving.
+fn is_workload_token(w: &str, prefixes: &[String]) -> bool {
+    match split_id(w) {
+        Some((prefix, digits)) => digits.len() >= 2 && prefixes.iter().any(|p| p == prefix),
+        None => false,
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +304,38 @@ mod tests {
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].message.contains("`w42`"));
         assert_eq!(out[0].path, "DESIGN.md");
+    }
+
+    #[test]
+    fn family_ids_resolved_by_declared_prefix() {
+        // A declared `churn01` makes `churn` a judged prefix: `churn99`
+        // is flagged, while `fig05` (no such prefix) never is.
+        let mut files = base();
+        files.pop(); // replace the workload source
+        files.push((
+            WORKLOAD_RS,
+            "id: \"w01\",\nid: \"churn01\",\nid: \"burst01\",\n",
+        ));
+        files.push((
+            "README.md",
+            "run churn01 then churn99, and see fig05 for burst01\n",
+        ));
+        let out = run(files);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`churn99`"));
+    }
+
+    #[test]
+    fn prefix_derivation_requires_digit_suffix() {
+        assert_eq!(
+            workload_prefixes(&["w01".into(), "churn01".into(), "plain".into(), "w19".into()]),
+            vec!["w".to_string(), "churn".to_string()]
+        );
+        let prefixes = vec!["w".to_string()];
+        assert!(is_workload_token("w42", &prefixes));
+        assert!(!is_workload_token("w4", &prefixes)); // too short
+        assert!(!is_workload_token("churn01", &prefixes)); // undeclared prefix
+        assert!(!is_workload_token("w01x", &prefixes)); // trailing junk
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //!   deliberately *not* suppressible (an allowed external dependency is
 //!   a contradiction in terms here);
 //! * **cross-file schema lints** ([`trace_schema`], [`snapshot_schema`],
-//!   [`doc_sync`]) — consistency between the typed `TraceEvent` enum and
-//!   the places that name its kinds as strings, between the snapshot
-//!   payload constant and the DESIGN.md schema table, and between the
-//!   top-level docs and the build targets/workloads they tell the reader
-//!   to run; not suppressible either.
+//!   [`surface_schema`], [`doc_sync`]) — consistency between the typed
+//!   `TraceEvent` enum and the places that name its kinds as strings,
+//!   between the snapshot payload constant and the DESIGN.md schema
+//!   table, between the surface point-field constant and its DESIGN.md
+//!   table, and between the top-level docs and the build
+//!   targets/workloads they tell the reader to run; not suppressible
+//!   either.
 //!
 //! Adding a lint: write a `check` that pushes [`Diagnostic`]s, call it
 //! from [`run_all`], give it a unique name, document it in DESIGN.md §9,
@@ -25,6 +27,7 @@ pub mod code;
 pub mod doc_sync;
 pub mod hermetic;
 pub mod snapshot_schema;
+pub mod surface_schema;
 pub mod trace_schema;
 
 use crate::diag::{self, Diagnostic};
@@ -43,6 +46,7 @@ pub const ALL_LINTS: &[&str] = &[
     hermetic::HERMETIC_LOCK,
     trace_schema::TRACE_SCHEMA,
     snapshot_schema::SNAPSHOT_SCHEMA,
+    surface_schema::SURFACE_SCHEMA,
     doc_sync::DOC_SYNC,
 ];
 
@@ -65,6 +69,7 @@ pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
     hermetic::check(ws, &mut diags);
     trace_schema::check(ws, &mut diags);
     snapshot_schema::check(ws, &mut diags);
+    surface_schema::check(ws, &mut diags);
     doc_sync::check(ws, &mut diags);
     diag::sort(&mut diags);
     diags

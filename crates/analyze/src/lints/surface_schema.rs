@@ -1,0 +1,331 @@
+//! Surface-schema sync lint: the DESIGN.md surface-schema table must
+//! document exactly the per-point fields the surface artifact emits.
+//!
+//! `crates/bench/src/surface.rs` declares `SURFACE_FIELDS`, the keys of
+//! every point object in a `SURFACE_*.json` artifact, in emission order
+//! — the single source of truth for the wire format (the emitter
+//! asserts its output matches it, and `surfacecheck` rejects any
+//! artifact that drifts). This lint checks that the table under a
+//! "Surface schema" heading in `DESIGN.md` documents **exactly** those
+//! fields, **in the same order**: a field added to the point without a
+//! documented row (or vice versa) is schema drift, and out-of-order
+//! rows misdescribe the byte layout that the differential tests pin.
+//!
+//! Not suppressible: an undocumented surface field silently decouples
+//! the characterization artifact from its specification.
+
+use crate::diag::Diagnostic;
+use crate::scan::{scan, Tok};
+use crate::workspace::Workspace;
+
+/// Lint name.
+pub const SURFACE_SCHEMA: &str = "surface_schema";
+
+/// Where the point-field constant lives.
+pub const SURFACE_RS: &str = "crates/bench/src/surface.rs";
+/// The design document holding the surface-schema table.
+pub const DESIGN_MD: &str = "DESIGN.md";
+
+/// Runs the lint. Skips silently when `surface.rs` is absent (fixture
+/// workspaces); a real workspace always has it — the self-check test
+/// pins that.
+pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    let Some(surf) = ws.get(SURFACE_RS) else {
+        return;
+    };
+    let fields = surface_fields(&surf.text);
+    if fields.is_empty() {
+        out.push(Diagnostic::new(
+            SURFACE_SCHEMA,
+            SURFACE_RS,
+            1,
+            "no `SURFACE_FIELDS` string-array constant found: the analyzer can no longer \
+             verify surface-schema sync (was the constant renamed?)",
+        ));
+        return;
+    }
+    let Some(design) = ws.get(DESIGN_MD) else {
+        return;
+    };
+    let rows = design_rows(&design.text);
+    if rows.is_empty() {
+        out.push(Diagnostic::new(
+            SURFACE_SCHEMA,
+            DESIGN_MD,
+            1,
+            "no surface-schema table rows found under a \"Surface schema\" heading: the \
+             analyzer can no longer verify the documented point fields (was the section \
+             renamed?)",
+        ));
+        return;
+    }
+    for (name, line) in &rows {
+        if !fields.contains(name) {
+            out.push(Diagnostic::new(
+                SURFACE_SCHEMA,
+                DESIGN_MD,
+                *line,
+                format!(
+                    "schema table documents point field `{name}`, which \
+                     `SURFACE_FIELDS` in {SURFACE_RS} does not contain"
+                ),
+            ));
+        }
+    }
+    for field in &fields {
+        if !rows.iter().any(|(n, _)| n == field) {
+            out.push(Diagnostic::new(
+                SURFACE_SCHEMA,
+                DESIGN_MD,
+                1,
+                format!(
+                    "surface point field `{field}` is emitted (see `SURFACE_FIELDS` \
+                     in {SURFACE_RS}) but has no row in the schema table"
+                ),
+            ));
+        }
+    }
+    // Only meaningful once the sets agree: an out-of-order table
+    // misdescribes the byte layout the differential tests compare.
+    let row_names: Vec<&String> = rows.iter().map(|(n, _)| n).collect();
+    if row_names.len() == fields.len()
+        && fields.iter().all(|f| row_names.contains(&f))
+        && !row_names.iter().zip(&fields).all(|(a, b)| *a == b)
+    {
+        let first = rows
+            .iter()
+            .zip(&fields)
+            .find(|((n, _), f)| n != *f)
+            .map(|((_, line), _)| *line)
+            .unwrap_or(1);
+        out.push(Diagnostic::new(
+            SURFACE_SCHEMA,
+            DESIGN_MD,
+            first,
+            format!(
+                "schema table rows are out of emission order: documented ({}) vs \
+                 emitted ({}) — the table must list fields in `SURFACE_FIELDS` order",
+                row_names
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                fields.join(", ")
+            ),
+        ));
+    }
+}
+
+/// Extracts the string elements of the `SURFACE_FIELDS` array constant,
+/// in declaration order.
+fn surface_fields(text: &str) -> Vec<String> {
+    let s = scan(text);
+    let t = &s.tokens;
+    let mut i = 0usize;
+    while i < t.len() {
+        if t[i].tok != Tok::Ident("SURFACE_FIELDS".to_string()) {
+            i += 1;
+            continue;
+        }
+        // Skip the type annotation (its `&[&str]` has brackets of its
+        // own): scan to the `=`, then to the initializer's `[`, then
+        // collect strings until the matching `]`.
+        let mut j = i + 1;
+        while j < t.len() && t[j].tok != Tok::Punct('=') && t[j].tok != Tok::Punct(';') {
+            j += 1;
+        }
+        while j < t.len() && t[j].tok != Tok::Punct('[') && t[j].tok != Tok::Punct(';') {
+            j += 1;
+        }
+        if t.get(j).map(|x| &x.tok) != Some(&Tok::Punct('[')) {
+            i = j.max(i + 1);
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut fields = Vec::new();
+        while j < t.len() {
+            match &t[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return fields;
+                    }
+                }
+                Tok::Str(name) if depth > 0 => fields.push(name.clone()),
+                _ => {}
+            }
+            j += 1;
+        }
+        return fields;
+    }
+    Vec::new()
+}
+
+/// `(field, line)` per table row under a "Surface schema" heading: the
+/// first cell must be a single backticked identifier (the header row's
+/// `field` placeholder and separator rows don't parse as one).
+fn design_rows(text: &str) -> Vec<(String, u32)> {
+    let mut rows = Vec::new();
+    let mut in_section = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') {
+            in_section = line.contains("Surface schema");
+            continue;
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let names = backticked_idents(cells[0]);
+        if names.len() != 1 || names[0] == "field" {
+            continue; // header or separator row
+        }
+        rows.push((names[0].clone(), i as u32 + 1));
+    }
+    rows
+}
+
+/// Backticked spans of a table cell that look like field identifiers.
+fn backticked_idents(cell: &str) -> Vec<String> {
+    cell.split('`')
+        .skip(1)
+        .step_by(2)
+        .filter(|w| {
+            !w.is_empty()
+                && w.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    const FAKE_SURFACE: &str = r#"
+        pub const SURFACE_FIELDS: &[&str] = &[
+            "policy",
+            "intensity",
+            "read_latency",
+        ];
+    "#;
+
+    const FAKE_DESIGN: &str = "\
+### 13.1 Surface schema
+
+| `field` | contents |
+|---|---|
+| `policy` | policy name |
+| `intensity` | offered load |
+| `read_latency` | mean read latency |
+
+### 13.2 Other
+";
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            files: files.iter().map(|(p, t)| SourceFile::new(p, t)).collect(),
+        }
+    }
+
+    #[test]
+    fn extracts_fields_in_order() {
+        assert_eq!(
+            surface_fields(FAKE_SURFACE),
+            vec!["policy", "intensity", "read_latency"]
+        );
+    }
+
+    #[test]
+    fn in_sync_table_passes() {
+        let w = ws(vec![(SURFACE_RS, FAKE_SURFACE), (DESIGN_MD, FAKE_DESIGN)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn undocumented_field_flagged() {
+        let missing: String = FAKE_DESIGN
+            .lines()
+            .filter(|l| !l.contains("`intensity`"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let w = ws(vec![(SURFACE_RS, FAKE_SURFACE), (DESIGN_MD, &missing)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("intensity"));
+        assert!(out[0].message.contains("no row"));
+    }
+
+    #[test]
+    fn phantom_row_flagged() {
+        let extra = FAKE_DESIGN.replace(
+            "| `read_latency` | mean read latency |",
+            "| `read_latency` | mean read latency |\n| `phantom` | never emitted |",
+        );
+        let w = ws(vec![(SURFACE_RS, FAKE_SURFACE), (DESIGN_MD, &extra)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("phantom"));
+        assert!(out[0].message.contains("does not contain"));
+    }
+
+    #[test]
+    fn out_of_order_rows_flagged() {
+        let swapped = FAKE_DESIGN
+            .replace("| `policy` | policy name |", "@POLICY@")
+            .replace(
+                "| `intensity` | offered load |",
+                "| `policy` | policy name |",
+            )
+            .replace("@POLICY@", "| `intensity` | offered load |");
+        let w = ws(vec![(SURFACE_RS, FAKE_SURFACE), (DESIGN_MD, &swapped)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("out of emission order"));
+    }
+
+    #[test]
+    fn rows_outside_section_ignored() {
+        let outside = FAKE_DESIGN.replace(
+            "### 13.2 Other",
+            "### 13.2 Other\n\n| `stray` | not schema |",
+        );
+        let w = ws(vec![(SURFACE_RS, FAKE_SURFACE), (DESIGN_MD, &outside)]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_constant_reports() {
+        let w = ws(vec![(SURFACE_RS, "pub struct NotAConst;")]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("no longer verify"));
+    }
+
+    #[test]
+    fn missing_table_reports() {
+        let w = ws(vec![
+            (SURFACE_RS, FAKE_SURFACE),
+            (DESIGN_MD, "## 13. Surfaces\n\nprose only\n"),
+        ]);
+        let mut out = Vec::new();
+        check(&w, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("no surface-schema table rows"));
+    }
+}

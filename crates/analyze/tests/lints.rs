@@ -217,6 +217,29 @@ fn snapshot_schema_positive_and_negative() {
 }
 
 #[test]
+fn surface_schema_positive_and_negative() {
+    let surf = (
+        "crates/bench/src/surface.rs",
+        "pub const SURFACE_FIELDS: &[&str] = &[\"policy\", \"intensity\"];\n",
+    );
+    let design_ok = (
+        "DESIGN.md",
+        "### 13.1 Surface schema\n\n| `field` | contents |\n|---|---|\n\
+         | `policy` | policy name |\n| `intensity` | offered load |\n",
+    );
+    assert_eq!(active(&[surf, design_ok], "surface_schema"), 0);
+    // A documented field the emitter dropped is flagged; immune to
+    // inline allows, like the other cross-file lints.
+    let design_bad = (
+        "DESIGN.md",
+        "<!-- profess: allow(surface_schema): nope -->\n\
+         ### 13.1 Surface schema\n\n| `field` | contents |\n|---|---|\n\
+         | `policy` | policy name |\n| `intensity` | offered load |\n| `ghost` | gone |\n",
+    );
+    assert_eq!(active(&[surf, design_bad], "surface_schema"), 1);
+}
+
+#[test]
 fn lint_list_is_complete() {
     // Every lint exercised above is registered for `--list`/docs.
     for lint in [
@@ -230,11 +253,12 @@ fn lint_list_is_complete() {
         "hermetic_lock",
         "trace_schema",
         "snapshot_schema",
+        "surface_schema",
         "doc_sync",
     ] {
         assert!(lints::ALL_LINTS.contains(&lint), "{lint} not registered");
     }
-    assert_eq!(lints::ALL_LINTS.len(), 11);
+    assert_eq!(lints::ALL_LINTS.len(), 12);
 }
 
 #[test]

@@ -1,0 +1,131 @@
+//! **surfacecheck** — strict CI validator for bandwidth–latency
+//! surface artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! surfacecheck check [--mono-tol F] <SURFACE_*.json>...
+//! surfacecheck diff <golden.json> <resumed.json>
+//! ```
+//!
+//! **check** mode validates each document's schema (every point carries
+//! exactly the `SURFACE_FIELDS`, in order), its grid order (intensities
+//! strictly ascending within each policy × read-fraction series), and
+//! monotonicity sanity: read latency must be non-decreasing with
+//! intensity at a fixed ratio, within the relative tolerance
+//! `--mono-tol` (default 0.05). Queueing delay cannot fall as offered
+//! load rises; a dip beyond noise means the simulator or the reduction
+//! drifted.
+//!
+//! **diff** mode byte-compares two surface artifacts: a sweep resumed
+//! from a checkpoint journal (or run at a different thread count) must
+//! emit a byte-identical surface. Any difference is a determinism
+//! regression and fails loudly.
+//!
+//! Exits 0 on success, 1 on a validation failure, 2 on usage errors.
+
+use profess_bench::surface::validate_surface;
+
+/// Default relative tolerance for the latency-monotonicity check.
+const DEFAULT_MONO_TOL: f64 = 0.05;
+
+fn usage() -> ! {
+    eprintln!("usage: surfacecheck check [--mono-tol F] <SURFACE_*.json>...");
+    eprintln!("       surfacecheck diff <golden.json> <resumed.json>");
+    std::process::exit(2);
+}
+
+fn check_mode(args: &[String]) {
+    let mut mono_tol = DEFAULT_MONO_TOL;
+    let mut files: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--mono-tol" {
+            let Some(t) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("surfacecheck: --mono-tol needs a number");
+                std::process::exit(2);
+            };
+            if !(0.0..1.0).contains(&t) {
+                eprintln!("surfacecheck: --mono-tol must be in [0, 1)");
+                std::process::exit(2);
+            }
+            mono_tol = t;
+        } else if a.starts_with('-') {
+            usage();
+        } else {
+            files.push(a);
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+    for f in &files {
+        let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
+            eprintln!("surfacecheck: {f}: {e}");
+            std::process::exit(1);
+        });
+        match validate_surface(&text, mono_tol) {
+            Ok(s) => println!(
+                "{f}: ok ({} point(s), {} latency series)",
+                s.points, s.series
+            ),
+            Err(e) => {
+                eprintln!("surfacecheck: {f}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("surfacecheck: {} file(s), all valid", files.len());
+}
+
+fn diff_mode(args: &[String]) {
+    let [golden, resumed] = args else { usage() };
+    let read = |p: &String| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("surfacecheck: {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let (a, b) = (read(golden), read(resumed));
+    if a == b {
+        println!(
+            "surfacecheck: {golden} and {resumed} are byte-identical ({} bytes)",
+            a.len()
+        );
+        return;
+    }
+    let at = a
+        .bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()));
+    eprintln!(
+        "surfacecheck: surfaces diverge: {golden} ({} bytes) vs {resumed} ({} bytes), \
+         first difference at byte {at}",
+        a.len(),
+        b.len()
+    );
+    eprintln!("  golden:  ...{}", excerpt(&a, at));
+    eprintln!("  resumed: ...{}", excerpt(&b, at));
+    std::process::exit(1);
+}
+
+/// A short printable window of `s` starting near byte `at`.
+fn excerpt(s: &str, at: usize) -> &str {
+    let start = (0..=at.min(s.len())).rev().find(|&i| s.is_char_boundary(i));
+    let start = start.unwrap_or(0);
+    let mut end = (start + 60).min(s.len());
+    while end < s.len() && !s.is_char_boundary(end) {
+        end += 1;
+    }
+    &s[start..end]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((mode, rest)) if mode == "check" => check_mode(rest),
+        Some((mode, rest)) if mode == "diff" => diff_mode(rest),
+        _ => usage(),
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod checkpoint;
 pub mod harness;
+pub mod surface;
 
 use profess_core::system::{PolicyKind, RunOutcome, SystemBuilder, SystemReport};
 use profess_core::SystemSnapshot;
@@ -21,7 +22,7 @@ use profess_trace::{SpecProgram, Workload};
 use profess_types::SystemConfig;
 
 pub use checkpoint::{Journal, MultiCell};
-pub use profess_par::{FaultPlan, Pool, SuperviseConfig, TaskOutcome};
+pub use profess_par::{FaultPlan, Pool, SuperviseConfig, Supervised, TaskOutcome};
 
 /// Default memory operations per program for single-program experiments.
 pub const SOLO_TARGET_MISSES: u64 = 120_000;
@@ -65,18 +66,11 @@ pub fn target_from_args(default: u64) -> u64 {
 
 /// Looks a workload id up, exiting with a usage error naming the known
 /// ids when it does not exist. Bench binaries should prefer this to
-/// unwrapping [`workload_by_id`](profess_trace::workload::workload_by_id).
+/// unwrapping [`workload_by_id`](profess_trace::workload::workload_by_id);
+/// the typed [`profess_trace::UnknownWorkload`] error already lists
+/// every valid id, so the usage path surfaces it verbatim.
 pub fn workload_or_usage(id: &str) -> Workload {
-    profess_trace::workload::workload_by_id(id).unwrap_or_else(|| {
-        let known: Vec<&str> = profess_trace::workload::workloads()
-            .iter()
-            .map(|w| w.id)
-            .collect();
-        usage_error(&format!(
-            "unknown workload id `{id}` (known: {})",
-            known.join(" ")
-        ))
-    })
+    profess_trace::workload::workload_by_id(id).unwrap_or_else(|e| usage_error(&e.to_string()))
 }
 
 /// Reads the supervision config (`PROFESS_RETRIES`,
@@ -687,7 +681,7 @@ fn cell_builder(
 /// dying. A preempted run journals its snapshot under
 /// [`snapshot_key`] and then panics: the supervisor counts the attempt
 /// as failed and the retry finds the snapshot and warm-starts from it.
-fn run_cell(
+pub(crate) fn run_cell(
     b: SystemBuilder,
     snap: &SnapshotMode,
     journal: &Journal,

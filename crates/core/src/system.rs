@@ -199,6 +199,39 @@ impl SystemReport {
             self.swaps as f64 / self.total_served as f64
         }
     }
+
+    /// Delivered bandwidth in 64 B lines per kilocycle — the surface
+    /// characterization's throughput axis.
+    pub fn bandwidth_lines_per_kcycle(&self) -> f64 {
+        if self.elapsed_cycles == 0 {
+            0.0
+        } else {
+            self.total_served as f64 * 1000.0 / self.elapsed_cycles as f64
+        }
+    }
+
+    /// Sum of per-program IPCs (system throughput for a surface cell).
+    pub fn aggregate_ipc(&self) -> f64 {
+        self.programs.iter().map(|p| p.ipc).sum()
+    }
+
+    /// Ratio of the best to the worst per-program IPC. When the
+    /// programs are identical load generators (as in a surface cell)
+    /// this equals the max-slowdown spread RSM bounds, without needing
+    /// solo reference runs. `1.0` is perfectly fair; `0.0` means a
+    /// program made no progress (or there are no programs).
+    pub fn ipc_spread(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for p in &self.programs {
+            min = min.min(p.ipc);
+            max = max.max(p.ipc);
+        }
+        if !min.is_finite() || min <= 0.0 {
+            return 0.0;
+        }
+        max / min
+    }
 }
 
 /// Result of a preemptible run ([`SystemBuilder::try_run_preemptible`]).

@@ -11,8 +11,11 @@
 //!   chasing, Zipfian hot spots, mixes, phase drift);
 //! * [`program`] — the [`program::ProgramGen`] op source combining a
 //!   pattern with MPKI-derived gaps and a write fraction;
-//! * [`spec`] — the ten Table 9 programs as model parameter sets;
-//! * [`workload`] — the nineteen Table 10 multiprogrammed mixes;
+//! * [`spec`] — the ten Table 9 programs as model parameter sets, plus
+//!   four synthetic characterization programs ([`spec::SpecProgram::SYNTHETIC`]:
+//!   phase-changing, bursty, multi-tenant, adversarial hot-set churn);
+//! * [`workload`] — the nineteen Table 10 multiprogrammed mixes and the
+//!   adversarial [`workload::family_workloads`];
 //! * [`record`] — trace capture and replay for repeatable A/B studies.
 //!
 //! # Examples
@@ -40,6 +43,8 @@ pub mod record;
 pub mod spec;
 pub mod workload;
 
-pub use program::{ProgramGen, ProgramParams};
+pub use program::{BurstParams, ProgramGen, ProgramParams};
 pub use spec::SpecProgram;
-pub use workload::{workloads, Workload};
+pub use workload::{
+    all_workloads, family_workloads, workload_by_id, workloads, UnknownWorkload, Workload,
+};

@@ -298,6 +298,243 @@ impl Pattern for Mix {
     }
 }
 
+/// Phase-changing pattern: cycles through a list of sub-patterns,
+/// switching to the next one every `phase_refs` references. Models
+/// programs whose access character changes between computation phases
+/// (scan → irregular → hot loop), the regime in which a migration
+/// policy's learned placement goes stale at every phase boundary.
+pub struct Phased {
+    parts: Vec<Box<dyn Pattern + Send>>,
+    phase_refs: u64,
+    refs_in_phase: u64,
+    current: usize,
+}
+
+impl std::fmt::Debug for Phased {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phased")
+            .field("parts", &self.parts.len())
+            .field("phase_refs", &self.phase_refs)
+            .field("current", &self.current)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Phased {
+    /// Creates a phase cycle over `parts`, advancing every `phase_refs`
+    /// references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or `phase_refs` is zero.
+    pub fn new(parts: Vec<Box<dyn Pattern + Send>>, phase_refs: u64) -> Self {
+        assert!(!parts.is_empty(), "no phase patterns");
+        assert!(phase_refs > 0, "phase length must be positive");
+        Phased {
+            parts,
+            phase_refs,
+            refs_in_phase: 0,
+            current: 0,
+        }
+    }
+
+    /// Index of the pattern the next reference will come from.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+}
+
+impl Pattern for Phased {
+    fn next_ref(&mut self, rng: &mut Rng) -> Ref {
+        if self.refs_in_phase >= self.phase_refs {
+            self.refs_in_phase = 0;
+            self.current = (self.current + 1) % self.parts.len();
+        }
+        self.refs_in_phase += 1;
+        self.parts[self.current].next_ref(rng)
+    }
+}
+
+/// Multi-tenant interleave: each tenant owns a disjoint slice of the
+/// footprint (its pattern's lines are shifted by `offset`) and receives
+/// a fixed share of the references via smooth weighted round-robin.
+/// Within every full round of `sum(weights)` references each tenant is
+/// drawn exactly `weight` times — the schedule is deterministic, so
+/// per-tenant request counts are an invariant, not an expectation.
+pub struct WeightedInterleave {
+    parts: Vec<(Box<dyn Pattern + Send>, u32, u64)>,
+    credit: Vec<i64>,
+}
+
+impl std::fmt::Debug for WeightedInterleave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WeightedInterleave")
+            .field("tenants", &self.parts.len())
+            .field(
+                "weights",
+                &self.parts.iter().map(|&(_, w, _)| w).collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl WeightedInterleave {
+    /// Creates an interleave of `(pattern, weight, line offset)` tenants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or any weight is zero.
+    pub fn new(parts: Vec<(Box<dyn Pattern + Send>, u32, u64)>) -> Self {
+        assert!(!parts.is_empty(), "no tenants");
+        assert!(parts.iter().all(|&(_, w, _)| w > 0), "zero tenant weight");
+        let credit = vec![0i64; parts.len()];
+        WeightedInterleave { parts, credit }
+    }
+
+    /// Picks the next tenant (smooth weighted round-robin: add each
+    /// weight, serve the largest credit, charge it one round).
+    fn next_tenant(&mut self) -> usize {
+        let total: i64 = self.parts.iter().map(|&(_, w, _)| i64::from(w)).sum();
+        let mut best = 0usize;
+        for (i, &(_, w, _)) in self.parts.iter().enumerate() {
+            self.credit[i] += i64::from(w);
+            if self.credit[i] > self.credit[best] {
+                best = i;
+            }
+        }
+        self.credit[best] -= total;
+        best
+    }
+}
+
+impl Pattern for WeightedInterleave {
+    fn next_ref(&mut self, rng: &mut Rng) -> Ref {
+        let i = self.next_tenant();
+        let (pattern, _, offset) = &mut self.parts[i];
+        let r = pattern.next_ref(rng);
+        Ref {
+            line: *offset + r.line,
+            dependent: r.dependent,
+        }
+    }
+}
+
+/// Adversarial hot-set churn: a small set of 2 KB blocks absorbs
+/// `p_hot` of the references, and every `churn_refs` references the set
+/// rotates — `keep` blocks stay, the rest are replaced by fresh blocks
+/// from a deterministic cursor walk over the footprint. Tuned so a
+/// block looks promotion-worthy for exactly long enough to pass a
+/// cost-benefit filter (MDM's probabilistic migration test), then goes
+/// cold before the promotion can pay for itself: the policy keeps
+/// buying swaps whose benefit never arrives.
+pub struct ChurnHotSet {
+    blocks: u64,
+    hot: Vec<u32>,
+    keep: usize,
+    p_hot: f64,
+    churn_refs: u64,
+    refs_in_phase: u64,
+    cursor: u64,
+}
+
+impl std::fmt::Debug for ChurnHotSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChurnHotSet")
+            .field("blocks", &self.blocks)
+            .field("hot", &self.hot.len())
+            .field("keep", &self.keep)
+            .field("p_hot", &self.p_hot)
+            .field("churn_refs", &self.churn_refs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChurnHotSet {
+    /// Creates a churn pattern over `lines` lines with `hot_blocks` hot
+    /// blocks, of which `keep` survive each rotation (the overlap bound:
+    /// consecutive hot sets share exactly `keep` blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint holds fewer than `2 * hot_blocks` whole
+    /// 2 KB blocks, if `keep >= hot_blocks`, if `hot_blocks` is zero, if
+    /// `churn_refs` is zero, or if `p_hot` is outside [0, 1].
+    pub fn new(
+        lines: u64,
+        hot_blocks: usize,
+        keep: usize,
+        p_hot: f64,
+        churn_refs: u64,
+        rng: &mut Rng,
+    ) -> Self {
+        let blocks = lines / LINES_PER_BLOCK;
+        assert!(hot_blocks > 0, "empty hot set");
+        assert!(
+            blocks >= 2 * hot_blocks as u64,
+            "footprint too small to churn the hot set"
+        );
+        assert!(keep < hot_blocks, "keep must leave room for fresh blocks");
+        assert!((0.0..=1.0).contains(&p_hot), "p_hot outside [0, 1]");
+        assert!(churn_refs > 0, "churn period must be positive");
+        let start = rng.gen_range(0..blocks);
+        let hot: Vec<u32> = (0..hot_blocks as u64)
+            .map(|i| ((start + i) % blocks) as u32)
+            .collect();
+        let cursor = (start + hot_blocks as u64) % blocks;
+        ChurnHotSet {
+            blocks,
+            hot,
+            keep,
+            p_hot,
+            churn_refs,
+            refs_in_phase: 0,
+            cursor,
+        }
+    }
+
+    /// The current hot set (block indices).
+    pub fn hot_set(&self) -> &[u32] {
+        &self.hot
+    }
+
+    /// Rotates the hot set: the first `keep` blocks survive, the rest
+    /// are replaced by the next fresh blocks of the cursor walk (which
+    /// skips blocks that are being kept).
+    fn rotate(&mut self) {
+        let kept: Vec<u32> = self.hot[..self.keep].to_vec();
+        let mut fresh = Vec::with_capacity(self.hot.len() - self.keep);
+        while fresh.len() < self.hot.len() - self.keep {
+            let b = self.cursor as u32;
+            self.cursor = (self.cursor + 1) % self.blocks;
+            if !kept.contains(&b) && !fresh.contains(&b) {
+                fresh.push(b);
+            }
+        }
+        self.hot.truncate(self.keep);
+        self.hot.extend(fresh);
+        self.refs_in_phase = 0;
+    }
+}
+
+impl Pattern for ChurnHotSet {
+    fn next_ref(&mut self, rng: &mut Rng) -> Ref {
+        if self.refs_in_phase >= self.churn_refs {
+            self.rotate();
+        }
+        self.refs_in_phase += 1;
+        let line = if rng.next_f64() < self.p_hot {
+            let block = u64::from(self.hot[rng.gen_range(0..self.hot.len() as u64) as usize]);
+            block * LINES_PER_BLOCK + rng.gen_range(0..LINES_PER_BLOCK)
+        } else {
+            rng.gen_range(0..self.blocks * LINES_PER_BLOCK)
+        };
+        Ref {
+            line,
+            dependent: false,
+        }
+    }
+}
+
 /// Convenience constructor for a seeded [`Rng`].
 pub fn seeded_rng(seed: u64) -> Rng {
     Rng::seed_from_u64(seed)
@@ -425,5 +662,80 @@ mod tests {
     #[should_panic(expected = "empty footprint")]
     fn streaming_rejects_empty() {
         Streaming::new(0);
+    }
+
+    #[test]
+    fn phased_cycles_through_parts() {
+        let mut rng = seeded_rng(6);
+        // Two easily distinguishable phases: streaming over the first 32
+        // lines vs. a constant-range chase over the top half.
+        let mut p = Phased::new(
+            vec![
+                Box::new(Streaming::new(32)),
+                Box::new(PointerChase::new(1 << 20)),
+            ],
+            100,
+        );
+        for i in 0..400 {
+            let r = p.next_ref(&mut rng);
+            let phase = (i / 100) % 2;
+            assert_eq!(p.current_phase(), phase);
+            if phase == 0 {
+                assert!(r.line < 32, "streaming phase leaked line {}", r.line);
+                assert!(!r.dependent);
+            } else {
+                assert!(r.dependent, "chase phase should be dependent");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_interleave_counts_are_exact() {
+        let mut rng = seeded_rng(7);
+        // Tenants own disjoint offsets, so refs attribute exactly.
+        let mut w = WeightedInterleave::new(vec![
+            (Box::new(Streaming::new(100)), 3, 0),
+            (Box::new(Streaming::new(100)), 2, 1000),
+            (Box::new(Streaming::new(100)), 1, 2000),
+        ]);
+        let mut counts = [0u64; 3];
+        for _ in 0..600 {
+            let r = w.next_ref(&mut rng);
+            counts[(r.line / 1000) as usize] += 1;
+        }
+        // 100 full rounds of weight-sum 6: exactly 3:2:1.
+        assert_eq!(counts, [300, 200, 100]);
+    }
+
+    #[test]
+    fn churn_rotates_with_exact_overlap() {
+        let mut rng = seeded_rng(8);
+        let mut c = ChurnHotSet::new(32 * 256, 8, 2, 0.9, 500, &mut rng);
+        let before: Vec<u32> = c.hot_set().to_vec();
+        for _ in 0..501 {
+            c.next_ref(&mut rng);
+        }
+        let after: Vec<u32> = c.hot_set().to_vec();
+        let overlap = after.iter().filter(|b| before.contains(b)).count();
+        assert_eq!(overlap, 2, "exactly `keep` blocks survive a rotation");
+        assert_eq!(after.len(), 8);
+    }
+
+    #[test]
+    fn churn_references_favor_hot_set() {
+        let mut rng = seeded_rng(9);
+        // No rotation within the window (churn_refs > samples).
+        let mut c = ChurnHotSet::new(32 * 512, 8, 2, 0.9, 1 << 30, &mut rng);
+        let hot: Vec<u32> = c.hot_set().to_vec();
+        let mut in_hot = 0;
+        for _ in 0..5000 {
+            let r = c.next_ref(&mut rng);
+            assert!(r.line < 32 * 512);
+            if hot.contains(&((r.line / LINES_PER_BLOCK) as u32)) {
+                in_hot += 1;
+            }
+        }
+        // p_hot = 0.9 plus the uniform tail's occasional hot hits.
+        assert!(in_hot > 4300, "hot share too small: {in_hot}/5000");
     }
 }

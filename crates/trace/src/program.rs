@@ -19,6 +19,28 @@ pub struct ProgramParams {
     pub instructions: u64,
 }
 
+/// On/off burst modulation of a program's arrival process: `on_ops`
+/// memory operations are emitted at the pattern's natural rate, then an
+/// idle window of `off_gap` instructions is inserted before the next
+/// one, and the cycle repeats. The duty cycle (fraction of instructions
+/// spent in on-phases) is `on_ops * (1000 / mpki)` over that plus
+/// `off_gap`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstParams {
+    /// Memory operations per on-phase.
+    pub on_ops: u64,
+    /// Idle instructions inserted between on-phases.
+    pub off_gap: u32,
+}
+
+impl BurstParams {
+    /// The configured duty cycle for a program running at `mpki`.
+    pub fn duty_cycle(&self, mpki: f64) -> f64 {
+        let on_instr = self.on_ops as f64 * (1000.0 / mpki);
+        on_instr / (on_instr + f64::from(self.off_gap))
+    }
+}
+
 /// A running synthetic program; implements [`OpSource`].
 pub struct ProgramGen {
     params: ProgramParams,
@@ -27,6 +49,7 @@ pub struct ProgramGen {
     instructions_emitted: u64,
     ops_emitted: u64,
     mean_gap: f64,
+    burst: Option<BurstParams>,
 }
 
 impl std::fmt::Debug for ProgramGen {
@@ -57,7 +80,34 @@ impl ProgramGen {
             instructions_emitted: 0,
             ops_emitted: 0,
             mean_gap: (per_op - 1.0).max(0.0),
+            burst: None,
         }
+    }
+
+    /// [`ProgramGen::new`] with on/off burst modulation of the arrival
+    /// process. The burst logic draws nothing from the RNG, so a bursty
+    /// program visits exactly the lines its non-bursty twin would —
+    /// only the instruction gaps differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`ProgramGen::new`] does, and if `burst.on_ops` is
+    /// zero.
+    pub fn with_burst(
+        params: ProgramParams,
+        pattern: Box<dyn Pattern + Send>,
+        seed: u64,
+        burst: BurstParams,
+    ) -> Self {
+        assert!(burst.on_ops > 0, "empty on-phase");
+        let mut g = ProgramGen::new(params, pattern, seed);
+        g.burst = Some(burst);
+        g
+    }
+
+    /// The burst modulation, if any.
+    pub fn burst(&self) -> Option<BurstParams> {
+        self.burst
     }
 
     /// The program's parameters.
@@ -89,7 +139,14 @@ impl OpSource for ProgramGen {
         if self.instructions_emitted >= self.params.instructions {
             return None;
         }
-        let gap = self.sample_gap();
+        let mut gap = self.sample_gap();
+        // Burst boundary: after every `on_ops` operations the next op is
+        // preceded by the off-phase's idle instructions.
+        if let Some(b) = self.burst {
+            if self.ops_emitted > 0 && self.ops_emitted % b.on_ops == 0 {
+                gap = gap.saturating_add(b.off_gap);
+            }
+        }
         let r = self.pattern.next_ref(&mut self.rng);
         let is_write = self.rng.next_f64() < self.params.write_frac;
         self.instructions_emitted += u64::from(gap) + 1;
@@ -184,6 +241,31 @@ mod tests {
         let mut b = ProgramGen::new(p, Box::new(PointerChase::new(p.lines)), 2);
         let same = (0..100).filter(|_| a.next_op() == b.next_op()).count();
         assert!(same < 100);
+    }
+
+    #[test]
+    fn burst_inserts_off_gaps_without_changing_lines() {
+        let p = params(25.0, 2_000_000);
+        let burst = BurstParams {
+            on_ops: 100,
+            off_gap: 50_000,
+        };
+        let mut plain = ProgramGen::new(p, Box::new(Streaming::new(p.lines)), 11);
+        let mut bursty = ProgramGen::with_burst(p, Box::new(Streaming::new(p.lines)), 11, burst);
+        let mut i = 0u64;
+        loop {
+            let (a, b) = (plain.next_op(), bursty.next_op());
+            let (Some(a), Some(b)) = (a, b) else { break };
+            assert_eq!(a.line, b.line, "burst must not perturb the address stream");
+            assert_eq!(a.kind, b.kind);
+            if i > 0 && i % burst.on_ops == 0 {
+                assert_eq!(b.gap, a.gap + burst.off_gap, "off-gap missing at op {i}");
+            } else {
+                assert_eq!(b.gap, a.gap);
+            }
+            i += 1;
+        }
+        assert!(i > 1000);
     }
 
     #[test]

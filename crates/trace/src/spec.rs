@@ -9,13 +9,29 @@
 //! analysis has something real to discriminate — the property the paper's
 //! single-program study (Figure 5) exercises.
 
-use crate::patterns::{seeded_rng, Hotspot, Mix, MultiStream, Pattern, PointerChase};
-use crate::program::{ProgramGen, ProgramParams};
+use crate::patterns::{
+    seeded_rng, ChurnHotSet, Hotspot, Mix, MultiStream, Pattern, Phased, PointerChase, Streaming,
+    WeightedInterleave, LINES_PER_BLOCK,
+};
+use crate::program::{BurstParams, ProgramGen, ProgramParams};
 
 /// Working-set drift period (references) for hot-spot components.
 const DRIFT_REFS: u64 = 50_000;
 
-/// The ten Table 9 programs.
+/// Phase length (references) of the phase-changing synthetic program.
+const PHASE_REFS: u64 = 25_000;
+
+/// Churn period (references) of the adversarial hot-set program: long
+/// enough for a hot block to look promotion-worthy to a cost-benefit
+/// filter, short enough that the promotion never amortizes.
+const CHURN_REFS: u64 = 1_500;
+
+/// Tenant sub-footprints are cut at 2 KB block boundaries so the blend's
+/// tenants never share a block.
+const LINES_FLOOR: u64 = LINES_PER_BLOCK;
+
+/// The ten Table 9 programs, plus the synthetic characterization
+/// programs behind the adversarial workload families (`SYNTHETIC`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum SpecProgram {
@@ -29,6 +45,16 @@ pub enum SpecProgram {
     Omnetpp,
     Soplex,
     Zeusmp,
+    /// Phase-changing program: scan → irregular → hot-loop phases.
+    PhaseFlip,
+    /// Bursty on/off arrival process over a streaming mix.
+    BurstStream,
+    /// Consolidated multi-tenant blend (disjoint sub-footprints, exact
+    /// per-tenant request shares).
+    TenantBlend,
+    /// Adversarial hot-set churn engineered to thrash MDM's
+    /// probabilistic migration filter.
+    HotChurn,
 }
 
 impl SpecProgram {
@@ -46,7 +72,16 @@ impl SpecProgram {
         SpecProgram::Zeusmp,
     ];
 
-    /// The SPEC benchmark name.
+    /// The synthetic characterization programs (not part of Table 9, so
+    /// not in [`SpecProgram::ALL`]; the sens_* sweeps stay ten-wide).
+    pub const SYNTHETIC: [SpecProgram; 4] = [
+        SpecProgram::PhaseFlip,
+        SpecProgram::BurstStream,
+        SpecProgram::TenantBlend,
+        SpecProgram::HotChurn,
+    ];
+
+    /// The SPEC benchmark name (or the synthetic program's id).
     pub fn name(self) -> &'static str {
         match self {
             SpecProgram::Bwaves => "bwaves",
@@ -59,12 +94,20 @@ impl SpecProgram {
             SpecProgram::Omnetpp => "omnetpp",
             SpecProgram::Soplex => "soplex",
             SpecProgram::Zeusmp => "zeusmp",
+            SpecProgram::PhaseFlip => "phaseflip",
+            SpecProgram::BurstStream => "burststream",
+            SpecProgram::TenantBlend => "tenantblend",
+            SpecProgram::HotChurn => "hotchurn",
         }
     }
 
-    /// Looks a program up by its SPEC name.
+    /// Looks a program up by its SPEC name (or synthetic id).
     pub fn from_name(name: &str) -> Option<SpecProgram> {
-        SpecProgram::ALL.iter().copied().find(|p| p.name() == name)
+        SpecProgram::ALL
+            .iter()
+            .chain(SpecProgram::SYNTHETIC.iter())
+            .copied()
+            .find(|p| p.name() == name)
     }
 
     /// L3 misses per kilo-instruction (Table 9).
@@ -80,6 +123,10 @@ impl SpecProgram {
             SpecProgram::Omnetpp => 19.0,
             SpecProgram::Soplex => 29.0,
             SpecProgram::Zeusmp => 5.0,
+            SpecProgram::PhaseFlip => 22.0,
+            SpecProgram::BurstStream => 25.0,
+            SpecProgram::TenantBlend => 24.0,
+            SpecProgram::HotChurn => 45.0,
         }
     }
 
@@ -96,6 +143,10 @@ impl SpecProgram {
             SpecProgram::Omnetpp => 138,
             SpecProgram::Soplex => 241,
             SpecProgram::Zeusmp => 112,
+            SpecProgram::PhaseFlip => 160,
+            SpecProgram::BurstStream => 96,
+            SpecProgram::TenantBlend => 192,
+            SpecProgram::HotChurn => 256,
         }
     }
 
@@ -112,6 +163,10 @@ impl SpecProgram {
             SpecProgram::Omnetpp => 0.30,
             SpecProgram::Soplex => 0.20,
             SpecProgram::Zeusmp => 0.25,
+            SpecProgram::PhaseFlip => 0.25,
+            SpecProgram::BurstStream => 0.30,
+            SpecProgram::TenantBlend => 0.25,
+            SpecProgram::HotChurn => 0.20,
         }
     }
 
@@ -195,6 +250,70 @@ impl SpecProgram {
                 Box::new(Hotspot::new(lines, 0.95, DRIFT_REFS, false, &mut rng)),
                 0.50,
             )),
+            // Phase-changing: a scan phase, a skewed hot-loop phase and a
+            // pointer-chase phase, each `PHASE_REFS` references long. The
+            // block heat map is rewritten on every transition, so any
+            // placement learned in one phase is stale in the next.
+            SpecProgram::PhaseFlip => Box::new(Phased::new(
+                vec![
+                    Box::new(MultiStream::new(lines, 24, &mut rng)),
+                    Box::new(Hotspot::new(lines, 1.15, 0, false, &mut rng)),
+                    Box::new(PointerChase::new(lines)),
+                ],
+                PHASE_REFS,
+            )),
+            // Bursty arrivals over a streaming/hot mix; the on/off gating
+            // lives in `burst_params`, not the address pattern.
+            SpecProgram::BurstStream => Box::new(Mix::new(
+                Box::new(MultiStream::new(lines, 16, &mut rng)),
+                Box::new(Hotspot::new(lines, 1.00, DRIFT_REFS, false, &mut rng)),
+                0.45,
+            )),
+            // Consolidated tenants with disjoint sub-footprints: a
+            // streaming tenant over the first half (weight 2), a
+            // Zipf-skewed tenant over the third quarter (weight 1) and a
+            // pointer-chasing tenant over the last quarter (weight 1).
+            // Smooth weighted round-robin keeps per-tenant shares exact.
+            SpecProgram::TenantBlend => {
+                let half = (lines / 2 / LINES_FLOOR) * LINES_FLOOR;
+                let quarter = (lines / 4 / LINES_FLOOR) * LINES_FLOOR;
+                Box::new(WeightedInterleave::new(vec![
+                    (Box::new(Streaming::new(half.max(LINES_FLOOR))), 2, 0),
+                    (
+                        Box::new(Hotspot::new(
+                            quarter.max(LINES_FLOOR),
+                            1.10,
+                            0,
+                            false,
+                            &mut rng,
+                        )),
+                        1,
+                        half,
+                    ),
+                    (
+                        Box::new(PointerChase::new(quarter.max(LINES_FLOOR))),
+                        1,
+                        half + quarter,
+                    ),
+                ]))
+            }
+            // Adversarial churn: eight hot 2 KB blocks absorb 85% of the
+            // traffic, rotating every `CHURN_REFS` references with only
+            // two survivors — promotions look profitable and never are.
+            SpecProgram::HotChurn => {
+                Box::new(ChurnHotSet::new(lines, 8, 2, 0.85, CHURN_REFS, &mut rng))
+            }
+        }
+    }
+
+    /// The program's arrival-process burst modulation, if it has one.
+    pub fn burst_params(self) -> Option<BurstParams> {
+        match self {
+            SpecProgram::BurstStream => Some(BurstParams {
+                on_ops: 2_000,
+                off_gap: 200_000,
+            }),
+            _ => None,
         }
     }
 
@@ -208,7 +327,11 @@ impl SpecProgram {
             write_frac: self.write_frac(),
             instructions,
         };
-        ProgramGen::new(params, self.pattern(lines, seed), seed)
+        let pattern = self.pattern(lines, seed);
+        match self.burst_params() {
+            Some(b) => ProgramGen::with_burst(params, pattern, seed, b),
+            None => ProgramGen::new(params, pattern, seed),
+        }
     }
 
     /// Instruction budget that yields roughly `target_misses` memory
@@ -240,10 +363,47 @@ mod tests {
 
     #[test]
     fn name_roundtrip() {
-        for p in SpecProgram::ALL {
+        for p in SpecProgram::ALL.into_iter().chain(SpecProgram::SYNTHETIC) {
             assert_eq!(SpecProgram::from_name(p.name()), Some(p));
         }
         assert_eq!(SpecProgram::from_name("nosuch"), None);
+    }
+
+    #[test]
+    fn synthetic_programs_stay_out_of_table9() {
+        for p in SpecProgram::SYNTHETIC {
+            assert!(!SpecProgram::ALL.contains(&p));
+        }
+        assert_eq!(SpecProgram::SYNTHETIC.len(), 4);
+    }
+
+    #[test]
+    fn synthetic_generators_produce_in_range_ops() {
+        for p in SpecProgram::SYNTHETIC {
+            let mut g = p.generator(64, 120_000, 17);
+            let lines = g.params().lines;
+            let mut n = 0u64;
+            while let Some(op) = g.next_op() {
+                assert!(op.line < lines, "{p}: line {} out of range", op.line);
+                n += 1;
+            }
+            assert!(n > 0, "{p} produced no ops");
+        }
+    }
+
+    #[test]
+    fn burststream_carries_burst_params() {
+        let b = SpecProgram::BurstStream.burst_params().unwrap();
+        assert_eq!(b.on_ops, 2_000);
+        // The configured duty cycle: 2000 ops at 25 MPKI = 80k on-phase
+        // instructions vs a 200k idle window.
+        let duty = b.duty_cycle(SpecProgram::BurstStream.mpki());
+        assert!((duty - 80_000.0 / 280_000.0).abs() < 1e-12);
+        for p in SpecProgram::ALL {
+            assert_eq!(p.burst_params(), None, "{p} must not burst");
+        }
+        let g = SpecProgram::BurstStream.generator(64, 10_000, 1);
+        assert_eq!(g.burst(), Some(b));
     }
 
     #[test]

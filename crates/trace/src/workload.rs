@@ -1,11 +1,13 @@
-//! The nineteen multiprogrammed workloads of the paper's Table 10.
+//! The nineteen multiprogrammed workloads of the paper's Table 10, plus
+//! the adversarial characterization families (`family_workloads`).
 
 use crate::spec::SpecProgram;
 
 /// A four-program workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Workload {
-    /// The paper's workload id, "w01" .. "w19".
+    /// The paper's workload id, "w01" .. "w19", or a family id such as
+    /// "churn01".
     pub id: &'static str,
     /// The four programs, in Table 10 order (pinned to cores 0..3).
     pub programs: [SpecProgram; 4],
@@ -94,9 +96,67 @@ pub fn workloads() -> [Workload; 19] {
     ]
 }
 
-/// Looks up a workload by id ("w01".."w19").
-pub fn workload_by_id(id: &str) -> Option<Workload> {
-    workloads().into_iter().find(|w| w.id == id)
+/// The adversarial characterization families: each pairs one of the
+/// synthetic programs (`SpecProgram::SYNTHETIC`) with Table 9 co-runners
+/// chosen to expose the behavior under test — phase changes, bursts,
+/// consolidated tenants, and hot-set churn against MDM's filter.
+pub fn family_workloads() -> [Workload; 4] {
+    use SpecProgram::*;
+    [
+        Workload {
+            id: "phase01",
+            programs: [PhaseFlip, Leslie3d, Lbm, Zeusmp],
+        },
+        Workload {
+            id: "burst01",
+            programs: [BurstStream, BurstStream, Milc, Omnetpp],
+        },
+        Workload {
+            id: "tenant01",
+            programs: [TenantBlend, Lbm, Mcf, Zeusmp],
+        },
+        Workload {
+            id: "churn01",
+            programs: [HotChurn, HotChurn, Leslie3d, Zeusmp],
+        },
+    ]
+}
+
+/// Every registered workload: Table 10 first, then the families.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut all: Vec<Workload> = workloads().into_iter().collect();
+    all.extend(family_workloads());
+    all
+}
+
+/// The error of [`workload_by_id`]: an unregistered workload id. Its
+/// `Display` form lists every valid id so bench bins can surface it
+/// verbatim through their shared usage path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownWorkload {
+    /// The id that failed to resolve.
+    pub id: String,
+}
+
+impl std::fmt::Display for UnknownWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown workload {:?}; valid ids:", self.id)?;
+        for w in all_workloads() {
+            write!(f, " {}", w.id)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownWorkload {}
+
+/// Looks up a workload by id ("w01".."w19" or a family id). On failure
+/// the error lists every valid id.
+pub fn workload_by_id(id: &str) -> Result<Workload, UnknownWorkload> {
+    all_workloads()
+        .into_iter()
+        .find(|w| w.id == id)
+        .ok_or_else(|| UnknownWorkload { id: id.to_string() })
 }
 
 #[cfg(test)]
@@ -127,7 +187,29 @@ mod tests {
     }
 
     #[test]
-    fn unknown_id_is_none() {
-        assert!(workload_by_id("w20").is_none());
+    fn families_are_registered() {
+        assert_eq!(family_workloads().len(), 4);
+        assert_eq!(all_workloads().len(), 23);
+        let churn = workload_by_id("churn01").expect("churn01");
+        assert_eq!(churn.programs, [HotChurn, HotChurn, Leslie3d, Zeusmp]);
+        // Each family leads with its synthetic program on core 0.
+        for (w, p) in family_workloads().iter().zip(SpecProgram::SYNTHETIC) {
+            assert_eq!(w.programs[0], p);
+        }
+        // Ids are unique across the whole registry.
+        let mut ids: Vec<&str> = all_workloads().iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 23);
+    }
+
+    #[test]
+    fn unknown_id_is_a_listing_error() {
+        let err = workload_by_id("w20").unwrap_err();
+        assert_eq!(err.id, "w20");
+        let msg = err.to_string();
+        assert!(msg.contains("unknown workload \"w20\""), "{msg}");
+        assert!(msg.contains(" w01"), "{msg}");
+        assert!(msg.contains(" churn01"), "{msg}");
     }
 }

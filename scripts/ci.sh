@@ -133,4 +133,39 @@ cargo run --release --offline -q -p profess-bench --bin snapshotcheck -- \
 cargo run --release --offline -q -p profess-bench --bin checkpointcheck -- \
     "$snap_dir/BENCH_fig10_12.json"
 
+# Surface smoke: the bandwidth–latency characterization end to end
+# (DESIGN.md §13). A tiny 2x2 grid over two policies pins the golden
+# SURFACE json; the validator checks schema, grid order and latency
+# monotonicity; then a sweep killed mid-grid by an injected exit (code
+# 86) resumes from its checkpoint journal and must reproduce the golden
+# artifact byte-for-byte.
+echo "==> surface smoke (2x2 grid: validate, kill, resume, diff)"
+surf_dir="$smoke_dir/surface"
+mkdir -p "$surf_dir"
+PROFESS_RESULTS_DIR="$surf_dir" PROFESS_THREADS=2 \
+    PROFESS_SURFACE_RATIOS=0.6,0.9 PROFESS_SURFACE_INTENSITIES=8,32 \
+    cargo run --release --offline -q -p profess-bench --bin surface -- 2000 pom profess \
+    > /dev/null
+test -s "$surf_dir/SURFACE_surface.json"
+cargo run --release --offline -q -p profess-bench --bin surfacecheck -- \
+    check "$surf_dir/SURFACE_surface.json"
+mv "$surf_dir/SURFACE_surface.json" "$surf_dir/SURFACE_golden.json"
+rc=0
+PROFESS_RESULTS_DIR="$surf_dir" PROFESS_CHECKPOINT="$surf_dir" \
+    PROFESS_THREADS=1 PROFESS_FAULT='exit@3' \
+    PROFESS_SURFACE_RATIOS=0.6,0.9 PROFESS_SURFACE_INTENSITIES=8,32 \
+    cargo run --release --offline -q -p profess-bench --bin surface -- 2000 pom profess \
+    > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 86
+test -s "$surf_dir/CHECKPOINT_surface.jsonl"
+PROFESS_RESULTS_DIR="$surf_dir" PROFESS_CHECKPOINT="$surf_dir" PROFESS_THREADS=2 \
+    PROFESS_SURFACE_RATIOS=0.6,0.9 PROFESS_SURFACE_INTENSITIES=8,32 \
+    cargo run --release --offline -q -p profess-bench --bin surface -- 2000 pom profess \
+    > "$surf_dir/resume.out"
+grep -q 'restored from journal' "$surf_dir/resume.out"
+cargo run --release --offline -q -p profess-bench --bin surfacecheck -- \
+    diff "$surf_dir/SURFACE_golden.json" "$surf_dir/SURFACE_surface.json"
+cargo run --release --offline -q -p profess-bench --bin checkpointcheck -- \
+    "$surf_dir/CHECKPOINT_surface.jsonl"
+
 echo "ci: all tier-1 checks passed"

@@ -90,7 +90,7 @@ fn workload_of(flags: &HashMap<String, String>) -> Result<Workload, String> {
     let id = flags
         .get("workload")
         .ok_or_else(|| "--workload is required".to_string())?;
-    profess::trace::workload::workload_by_id(id).ok_or_else(|| format!("unknown workload {id:?}"))
+    profess::trace::workload::workload_by_id(id).map_err(|e| e.to_string())
 }
 
 fn print_report(r: &SystemReport) {
@@ -142,9 +142,21 @@ fn main() -> ExitCode {
             "list" => {
                 println!(
                     "programs:  {}",
-                    SpecProgram::ALL.map(|p| p.name()).join(" ")
+                    SpecProgram::ALL
+                        .iter()
+                        .chain(SpecProgram::SYNTHETIC.iter())
+                        .map(|p| p.name())
+                        .collect::<Vec<_>>()
+                        .join(" ")
                 );
-                println!("workloads: {}", workloads().map(|w| w.id).join(" "));
+                println!(
+                    "workloads: {}",
+                    profess::trace::workload::all_workloads()
+                        .iter()
+                        .map(|w| w.id)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
                 println!(
                     "policies:  {}",
                     POLICIES

@@ -72,6 +72,81 @@ pub fn multi_builder(pk: PolicyKind) -> SystemBuilder {
     b
 }
 
+/// The policy subset pinned per adversarial workload family (the
+/// characterization policies of DESIGN.md §13; the full nine-policy
+/// grid would triple the suite's runtime for no extra drift coverage).
+pub const FAMILY_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Pom,
+    PolicyKind::MemPod,
+    PolicyKind::Mdm,
+    PolicyKind::Profess,
+];
+
+/// `(family id, [hash per FAMILY_POLICIES entry])` — harvested via
+/// `PROFESS_BLESS_FINGERPRINTS=1`; see `tests/fingerprints.rs`.
+pub const FAMILY_PINNED: [(&str, [u64; 4]); 4] = [
+    (
+        "phase01",
+        [
+            0x28422fcd0b2b0535,
+            0x176ba2c5e9678d09,
+            0x94256f58a59ba355,
+            0x0fde4005b077b740,
+        ],
+    ),
+    (
+        "burst01",
+        [
+            0x8acc20e9ea3a019f,
+            0x142c7418d42f9358,
+            0x5c0b0ff57e6e048f,
+            0xc3bf3c123a11dbae,
+        ],
+    ),
+    (
+        "tenant01",
+        [
+            0xc38fe0baaba3f26e,
+            0x35cc70ca56be9499,
+            0x62c70b6b5578da67,
+            0x543dbf3733292fc4,
+        ],
+    ),
+    (
+        "churn01",
+        [
+            0x13f23fac9d2a28c9,
+            0x15b4d369d867dbd9,
+            0x8590b0cf92c85f03,
+            0xe16a650265a24154,
+        ],
+    ),
+];
+
+/// Per-program miss budget of the pinned family runs.
+pub const FAMILY_MISSES: u64 = 2_000;
+
+/// The configuration behind the pinned family fingerprints (shared
+/// with `tests/fairness_attack.rs`, whose solo references must run
+/// under exactly this config).
+pub fn family_config() -> SystemConfig {
+    let mut cfg = SystemConfig::scaled_quad();
+    cfg.seed = 99;
+    cfg.rsm.m_samp = 512;
+    cfg
+}
+
+/// The builder behind a pinned family fingerprint: the quad system on
+/// one adversarial workload family, same seed discipline as
+/// [`multi_builder`].
+pub fn family_builder(family: &Workload, pk: PolicyKind) -> SystemBuilder {
+    let mut b = SystemBuilder::new(family_config()).policy(pk);
+    for p in family.programs {
+        b = b.spec_program(p, p.budget_for_misses(FAMILY_MISSES));
+    }
+    b
+}
+
 /// The canonical report serialization the fingerprints pin.
 pub fn report_string(r: &SystemReport) -> String {
     report_to_json(r).to_string()

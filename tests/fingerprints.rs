@@ -18,7 +18,10 @@
 
 mod common;
 
-use common::{fnv1a, multi_builder, report_string, single_builder, ALL_POLICIES, PINNED};
+use common::{
+    family_builder, fnv1a, multi_builder, report_string, single_builder, ALL_POLICIES,
+    FAMILY_PINNED, FAMILY_POLICIES, PINNED,
+};
 
 #[test]
 fn report_fingerprints_match_pinned_values() {
@@ -47,6 +50,43 @@ fn report_fingerprints_match_pinned_values() {
     assert!(
         bad.is_empty(),
         "report fingerprints drifted from pinned values:\n{}\n\nfresh table:\n{table}",
+        bad.join("\n")
+    );
+}
+
+/// Same drift gate for the adversarial workload families (DESIGN.md
+/// §13.3): each family × characterization policy pins its report bytes.
+#[test]
+fn family_fingerprints_match_pinned_values() {
+    let bless = std::env::var("PROFESS_BLESS_FINGERPRINTS").is_ok();
+    let families = profess::trace::family_workloads();
+    let mut table = String::new();
+    let mut bad = Vec::new();
+    for (i, w) in families.iter().enumerate() {
+        let (id, pinned) = &FAMILY_PINNED[i];
+        assert_eq!(*id, w.id, "FAMILY_PINNED table order drifted");
+        table.push_str(&format!("    (\n        \"{}\",\n        [\n", w.id));
+        for (j, pk) in FAMILY_POLICIES.iter().enumerate() {
+            let h = fnv1a(report_string(&family_builder(w, *pk).run()).as_bytes());
+            table.push_str(&format!("            0x{h:016x},\n"));
+            if h != pinned[j] {
+                bad.push(format!(
+                    "{} under {}: 0x{h:016x} (pinned 0x{:016x})",
+                    w.id,
+                    pk.name(),
+                    pinned[j]
+                ));
+            }
+        }
+        table.push_str("        ],\n    ),\n");
+    }
+    if bless {
+        println!("const FAMILY_PINNED: [(&str, [u64; 4]); 4] = [\n{table}];");
+        return;
+    }
+    assert!(
+        bad.is_empty(),
+        "family fingerprints drifted from pinned values:\n{}\n\nfresh table:\n{table}",
         bad.join("\n")
     );
 }
