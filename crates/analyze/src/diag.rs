@@ -2,6 +2,29 @@
 
 use std::fmt::Write as _;
 
+/// How severe a diagnostic is.
+///
+/// Errors gate CI (an unsuppressed error fails the run); warnings are
+/// advisory — reported, counted, baselined, but never a failure by
+/// themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Gates CI.
+    Error,
+    /// Advisory only.
+    Warn,
+}
+
+impl Level {
+    /// Stable lowercase label used in JSON and renders.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+        }
+    }
+}
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -15,10 +38,12 @@ pub struct Diagnostic {
     pub message: String,
     /// True when an inline suppression covers this finding.
     pub suppressed: bool,
+    /// Severity: errors gate CI, warnings are advisory.
+    pub level: Level,
 }
 
 impl Diagnostic {
-    /// Builds an (unsuppressed) diagnostic.
+    /// Builds an (unsuppressed) error-level diagnostic.
     pub fn new(lint: &'static str, path: &str, line: u32, message: impl Into<String>) -> Self {
         Diagnostic {
             lint,
@@ -26,15 +51,29 @@ impl Diagnostic {
             line,
             message: message.into(),
             suppressed: false,
+            level: Level::Error,
+        }
+    }
+
+    /// Builds an (unsuppressed) warning-level diagnostic.
+    pub fn warn(lint: &'static str, path: &str, line: u32, message: impl Into<String>) -> Self {
+        Diagnostic {
+            level: Level::Warn,
+            ..Diagnostic::new(lint, path, line, message)
         }
     }
 
     /// The human-readable one-liner.
     pub fn render(&self) -> String {
         let sup = if self.suppressed { " (allowed)" } else { "" };
+        let lvl = if self.level == Level::Warn {
+            " warning:"
+        } else {
+            ""
+        };
         format!(
-            "{}:{}: [{}]{} {}",
-            self.path, self.line, self.lint, sup, self.message
+            "{}:{}: [{}]{}{} {}",
+            self.path, self.line, self.lint, sup, lvl, self.message
         )
     }
 }
@@ -51,37 +90,24 @@ pub fn sort(diags: &mut [Diagnostic]) {
     });
 }
 
-/// Renders the `ANALYZE.json` report: a stable, insertion-ordered JSON
-/// document (hand-rolled — this crate depends on nothing, including the
-/// workspace's own JSON emitter, so it can audit it).
-pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
-    let active = diags.iter().filter(|d| !d.suppressed).count();
-    let suppressed = diags.len() - active;
+/// Renders one diagnostic as a JSON object (the v2 per-entry shape).
+pub fn diag_json(d: &Diagnostic) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"tool\":\"profess-analyze\",\"version\":1,\"files_scanned\":{files_scanned},\
-         \"active\":{active},\"suppressed\":{suppressed},\"diagnostics\":["
+        "{{\"lint\":{},\"level\":{},\"path\":{},\"line\":{},\"suppressed\":{},\"message\":{}}}",
+        json_str(d.lint),
+        json_str(d.level.label()),
+        json_str(&d.path),
+        d.line,
+        d.suppressed,
+        json_str(&d.message),
     );
-    for (i, d) in diags.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"lint\":{},\"path\":{},\"line\":{},\"suppressed\":{},\"message\":{}}}",
-            json_str(d.lint),
-            json_str(&d.path),
-            d.line,
-            d.suppressed,
-            json_str(&d.message),
-        );
-    }
-    out.push_str("]}");
     out
 }
 
-fn json_str(s: &str) -> String {
+/// JSON-escapes and quotes a string.
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -122,13 +148,15 @@ mod tests {
     }
 
     #[test]
-    fn json_escapes_and_counts() {
+    fn json_escapes_and_levels() {
         let mut d = Diagnostic::new("panic", "a.rs", 3, "uses \"unwrap\"\n");
         d.suppressed = true;
-        let j = to_json(&[d, Diagnostic::new("panic", "b.rs", 1, "x")], 7);
-        assert!(j.contains("\"files_scanned\":7"));
-        assert!(j.contains("\"active\":1"));
-        assert!(j.contains("\"suppressed\":1"));
+        let j = diag_json(&d);
+        assert!(j.contains("\"level\":\"error\""));
+        assert!(j.contains("\"suppressed\":true"));
         assert!(j.contains("uses \\\"unwrap\\\"\\n"));
+        let w = Diagnostic::warn("dead_item", "b.rs", 1, "x");
+        assert!(diag_json(&w).contains("\"level\":\"warn\""));
+        assert!(w.render().contains("warning:"));
     }
 }

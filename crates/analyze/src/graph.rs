@@ -1,0 +1,280 @@
+//! The intra-workspace item graph: every `fn` item as a node, with
+//! name-resolved call edges between them.
+//!
+//! Resolution is deliberately an **overapproximation**: an identifier in
+//! a function body that matches the name of any workspace `fn` adds a
+//! call edge to *every* same-named item, whether the call is `free()`,
+//! `recv.method()`, `Type::assoc()`, or a bare `map(helper)` mention.
+//! The graph therefore never *misses* a real call — the property the
+//! reachability lints need — at the cost of phantom edges between
+//! same-named methods of unrelated types. Lints built on top aggregate
+//! per function and accept documented allows, which keeps the phantom
+//! edges from turning into noise.
+//!
+//! All node and edge orderings are index- or BTree-based, so every walk
+//! over the graph is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::items::{FileItems, ItemKind};
+
+/// One `fn` node.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Index of the file in the [`ItemGraph::files`] slice.
+    pub file: usize,
+    /// Index of the item inside that file's `items`.
+    pub item: usize,
+    /// Bare function name.
+    pub name: String,
+    /// `Owner::name` for methods, bare name otherwise.
+    pub qualified: String,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Defined inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+}
+
+/// Aggregate graph statistics for `ANALYZE.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Files parsed into items.
+    pub files: usize,
+    /// Total items of any kind.
+    pub items: usize,
+    /// `fn` nodes.
+    pub fns: usize,
+    /// Call edges (after dedup).
+    pub calls: usize,
+}
+
+/// The workspace-wide call graph over parsed files.
+#[derive(Debug)]
+pub struct ItemGraph<'a> {
+    /// The parsed files the node indices point into.
+    pub files: &'a [FileItems],
+    /// All `fn` nodes, in (file, item) order.
+    pub nodes: Vec<FnNode>,
+    /// Bare fn name → node ids bearing it.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Forward call edges: node id → callee node ids.
+    pub calls: Vec<BTreeSet<usize>>,
+    /// Reverse edges: node id → caller node ids.
+    pub callers: Vec<BTreeSet<usize>>,
+}
+
+impl<'a> ItemGraph<'a> {
+    /// Builds the graph over a set of parsed files.
+    pub fn build(files: &'a [FileItems]) -> ItemGraph<'a> {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (ii, it) in f.items.iter().enumerate() {
+                if it.kind != ItemKind::Fn {
+                    continue;
+                }
+                let id = nodes.len();
+                by_name.entry(it.name.clone()).or_default().push(id);
+                nodes.push(FnNode {
+                    file: fi,
+                    item: ii,
+                    name: it.name.clone(),
+                    qualified: it.qualified(),
+                    path: f.rel_path.clone(),
+                    line: it.line,
+                    in_test: it.in_test,
+                });
+            }
+        }
+        let mut calls: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+        let mut callers: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+        for (id, n) in nodes.iter().enumerate() {
+            let f = &files[n.file];
+            let (s, e) = f.items[n.item].body;
+            for t in &f.scan.tokens[s..e] {
+                if let crate::scan::Tok::Ident(word) = &t.tok {
+                    if let Some(callees) = by_name.get(word) {
+                        for &c in callees {
+                            if c != id {
+                                calls[id].insert(c);
+                                callers[c].insert(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ItemGraph {
+            files,
+            nodes,
+            by_name,
+            calls,
+            callers,
+        }
+    }
+
+    /// Node ids whose qualified name is `Owner::name` / `name` at `path`.
+    pub fn find(&self, path: &str, name: &str) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.path == path && n.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS over forward call edges from `roots`. Returns, for every
+    /// reached node, the id of the node it was first reached *from*
+    /// (roots map to themselves) — enough to rebuild a sample chain.
+    pub fn reach_from(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if parent.insert(r, r).is_none() {
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &c in &self.calls[n] {
+                if let std::collections::btree_map::Entry::Vacant(v) = parent.entry(c) {
+                    v.insert(n);
+                    queue.push_back(c);
+                }
+            }
+        }
+        parent
+    }
+
+    /// BFS over *reverse* edges: every node that (transitively) calls one
+    /// of `seeds`, including the seeds themselves.
+    pub fn callers_of(&self, seeds: &[usize]) -> BTreeSet<usize> {
+        let mut seen: BTreeSet<usize> = seeds.iter().copied().collect();
+        let mut queue: VecDeque<usize> = seeds.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            for &c in &self.callers[n] {
+                if seen.insert(c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reconstructs the call chain `root -> .. -> target` recorded by
+    /// [`reach_from`], rendered with qualified names.
+    pub fn chain(&self, parent: &BTreeMap<usize, usize>, target: usize) -> String {
+        let mut hops = vec![target];
+        let mut cur = target;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            hops.push(p);
+            cur = p;
+            if hops.len() > 64 {
+                break;
+            }
+        }
+        hops.reverse();
+        hops.iter()
+            .map(|&h| self.nodes[h].qualified.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+
+    /// Aggregate stats for the JSON report.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            files: self.files.len(),
+            items: self.files.iter().map(|f| f.items.len()).sum(),
+            fns: self.nodes.len(),
+            calls: self.calls.iter().map(BTreeSet::len).sum(),
+        }
+    }
+}
+
+/// Parses every `.rs` file of a workspace into items, in path order.
+pub fn parse_workspace(ws: &crate::workspace::Workspace) -> Vec<FileItems> {
+    ws.files
+        .iter()
+        .filter(|f| f.rel_path.ends_with(".rs"))
+        .map(FileItems::parse)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::SourceFile;
+
+    fn graph_of(files: &[(&str, &str)]) -> Vec<FileItems> {
+        files
+            .iter()
+            .map(|(p, s)| FileItems::parse(&SourceFile::new(p, s)))
+            .collect()
+    }
+
+    #[test]
+    fn direct_and_transitive_reachability() {
+        let files = graph_of(&[(
+            "crates/core/src/a.rs",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}\n",
+        )]);
+        let g = ItemGraph::build(&files);
+        let roots = g.find("crates/core/src/a.rs", "root");
+        let reach = g.reach_from(&roots);
+        let names: Vec<&str> = reach.keys().map(|&i| g.nodes[i].name.as_str()).collect();
+        assert_eq!(names, vec!["root", "mid", "leaf"]);
+        let leaf = g.find("crates/core/src/a.rs", "leaf")[0];
+        assert_eq!(g.chain(&reach, leaf), "root -> mid -> leaf");
+    }
+
+    #[test]
+    fn name_resolution_overapproximates_methods() {
+        let files = graph_of(&[
+            (
+                "crates/core/src/a.rs",
+                "struct Q;\nimpl Q {\n pub fn push(&mut self) { danger(); }\n}\nfn danger() {}\n",
+            ),
+            (
+                "crates/mem/src/b.rs",
+                "fn user(q: &mut Vec<u8>) { q.push(1); }\n",
+            ),
+        ]);
+        let g = ItemGraph::build(&files);
+        // `q.push(1)` on a Vec still edges to Q::push — by design.
+        let user = g.find("crates/mem/src/b.rs", "user");
+        let reach = g.reach_from(&user);
+        let danger = g.find("crates/core/src/a.rs", "danger")[0];
+        assert!(reach.contains_key(&danger), "overapproximate edge missing");
+    }
+
+    #[test]
+    fn reverse_walk_finds_all_transitive_callers() {
+        let files = graph_of(&[(
+            "crates/core/src/a.rs",
+            "fn top() { a(); }\nfn a() { b(); }\nfn b() {}\nfn other() {}\n",
+        )]);
+        let g = ItemGraph::build(&files);
+        let b = g.find("crates/core/src/a.rs", "b");
+        let callers = g.callers_of(&b);
+        let names: Vec<&str> = callers.iter().map(|&i| g.nodes[i].name.as_str()).collect();
+        assert_eq!(names, vec!["top", "a", "b"]);
+    }
+
+    #[test]
+    fn stats_count_files_items_fns_edges() {
+        let files = graph_of(&[(
+            "crates/core/src/a.rs",
+            "struct S;\nfn f() { g(); }\nfn g() {}\n",
+        )]);
+        let g = ItemGraph::build(&files);
+        let st = g.stats();
+        assert_eq!(st.files, 1);
+        assert_eq!(st.items, 3);
+        assert_eq!(st.fns, 2);
+        assert_eq!(st.calls, 1);
+    }
+}

@@ -10,14 +10,22 @@
 //! conventions into machine-checked lints, run as a CI gate
 //! (`cargo run -p profess-analyze`, wired into `scripts/ci.sh`).
 //!
-//! Architecture (see DESIGN.md §9):
+//! Architecture (see DESIGN.md §9 and §14):
 //!
 //! * [`scan`] — a comment/string-aware Rust token scanner, so lints see
 //!   identifiers rather than bytes and `// profess: allow(<lint>)`
 //!   suppressions rather than magic strings;
 //! * [`workspace`] — the file walker and role classifier (library vs.
 //!   bin vs. test vs. script vs. manifest) that scopes each lint;
+//! * [`items`] — the token stream parsed into items (fn/struct/impl/
+//!   mod), each `fn` with its body token range and impl owner;
+//! * [`graph`] — the intra-workspace call graph over those items, with
+//!   deliberately overapproximating name resolution;
+//! * [`taint`] — nondeterminism sources, sinks, and caller-direction
+//!   propagation over the graph;
 //! * [`lints`] — the suite itself plus the suppression plumbing;
+//! * [`baseline`] — the committed-`ANALYZE.json` diff behind the
+//!   `analyzegate` CI mode;
 //! * [`diag`] — stable diagnostics and the `ANALYZE.json` rendering.
 //!
 //! The crate depends on nothing — not even the workspace's own crates —
@@ -27,14 +35,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod baseline;
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lints;
 pub mod scan;
+pub mod taint;
 pub mod workspace;
 
-pub use diag::Diagnostic;
+pub use diag::{Diagnostic, Level};
 pub use workspace::{Role, SourceFile, Workspace};
 
+use std::fmt::Write as _;
 use std::path::Path;
 
 /// The result of one analyzer run.
@@ -44,6 +57,10 @@ pub struct Analysis {
     pub diagnostics: Vec<Diagnostic>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Call-graph statistics from the item layer.
+    pub graph: graph::GraphStats,
+    /// Every suppression marker in the tree, with usage.
+    pub allows: Vec<lints::AllowRecord>,
 }
 
 impl Analysis {
@@ -52,14 +69,101 @@ impl Analysis {
         self.diagnostics.iter().filter(|d| !d.suppressed)
     }
 
-    /// True when the tree is clean (no unsuppressed diagnostics).
-    pub fn is_clean(&self) -> bool {
-        self.active().next().is_none()
+    /// Unsuppressed error-level diagnostics — the ones that fail a run.
+    pub fn active_errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.active().filter(|d| d.level == Level::Error)
     }
 
-    /// The `ANALYZE.json` document.
+    /// Unsuppressed warnings — advisory, baselined by `analyzegate`.
+    pub fn active_warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.active().filter(|d| d.level == Level::Warn)
+    }
+
+    /// True when the tree is clean (no unsuppressed errors; warnings
+    /// do not fail a run).
+    pub fn is_clean(&self) -> bool {
+        self.active_errors().next().is_none()
+    }
+
+    /// Per-lint `(active, suppressed)` counts, for every lint with at
+    /// least one diagnostic, in registry order.
+    pub fn counts(&self) -> Vec<(&'static str, usize, usize)> {
+        lints::REGISTRY
+            .iter()
+            .filter_map(|l| {
+                let active = self
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.lint == l.name && !d.suppressed)
+                    .count();
+                let suppressed = self
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.lint == l.name && d.suppressed)
+                    .count();
+                (active + suppressed > 0).then_some((l.name, active, suppressed))
+            })
+            .collect()
+    }
+
+    /// The `ANALYZE.json` v2 document: run stats, graph stats, per-lint
+    /// counts, the suppression inventory, and every diagnostic. The
+    /// document is fully deterministic — no timestamps, no host
+    /// metadata — so it can be committed and byte-diffed (wall time
+    /// goes to the separate `ANALYZE_PERF.json`).
     pub fn to_json(&self) -> String {
-        diag::to_json(&self.diagnostics, self.files_scanned)
+        let errors = self.active_errors().count();
+        let warnings = self.active_warnings().count();
+        let suppressed = self.diagnostics.iter().filter(|d| d.suppressed).count();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"tool\":\"profess-analyze\",\"version\":2,\"files_scanned\":{},\
+             \"active_errors\":{errors},\"active_warnings\":{warnings},\
+             \"suppressed\":{suppressed},",
+            self.files_scanned
+        );
+        let g = &self.graph;
+        let _ = write!(
+            out,
+            "\"graph\":{{\"files\":{},\"items\":{},\"fns\":{},\"calls\":{}}},",
+            g.files, g.items, g.fns, g.calls
+        );
+        out.push_str("\"counts\":{");
+        for (i, (name, active, sup)) in self.counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"active\":{active},\"suppressed\":{sup}}}",
+                diag::json_str(name)
+            );
+        }
+        out.push_str("},\"allows\":[");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":{},\"line\":{},\"lint\":{},\"used\":{},\"reason\":{}}}",
+                diag::json_str(&a.path),
+                a.line,
+                diag::json_str(&a.lint),
+                a.used,
+                diag::json_str(&a.reason),
+            );
+        }
+        out.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&diag::diag_json(d));
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -71,8 +175,11 @@ pub fn analyze_root(root: &Path) -> std::io::Result<Analysis> {
 
 /// Runs the full lint suite over an already-loaded workspace.
 pub fn analyze(ws: &Workspace) -> Analysis {
+    let suite = lints::run_all(ws);
     Analysis {
-        diagnostics: lints::run_all(ws),
+        diagnostics: suite.diagnostics,
         files_scanned: ws.files.len(),
+        graph: suite.graph,
+        allows: suite.allows,
     }
 }

@@ -40,7 +40,7 @@ const PANIC_EXEMPT_CRATES: &[&str] = &["check"];
 /// `crates/core/src/flat.rs`; a `BTreeMap`/`HashMap` is a measured
 /// regression, not a style nit. Cold paths (setup, snapshot plumbing)
 /// may suppress with `// profess: allow(hot_path_map): <why cold>`.
-fn is_hot_path_module(rel_path: &str) -> bool {
+pub(crate) fn is_hot_path_module(rel_path: &str) -> bool {
     rel_path == "crates/core/src/system.rs" || rel_path.starts_with("crates/core/src/policies/")
 }
 

@@ -1,0 +1,136 @@
+//! `determinism_taint`: nondeterminism must not flow into simulator
+//! state or emitted artifacts.
+//!
+//! Sources, sinks, and the propagation model live in [`crate::taint`];
+//! this module turns a (source, tainted-set, sink) triple into a
+//! diagnostic at the **source site** — the line where nondeterminism
+//! enters is the one that carries the justification, because that is
+//! where the reader decides whether the value is fingerprinted config
+//! (fine), a measurement (fine, wall time *is* the product of a bench),
+//! or a leak (not fine).
+//!
+//! Suppressible with `// profess: allow(determinism_taint): <why the
+//! flow cannot change deterministic output>`. The sanctioned config
+//! layer (`*from_env*` constructors) is exempt at the source.
+
+use crate::diag::Diagnostic;
+use crate::graph::ItemGraph;
+use crate::taint;
+use crate::workspace::Role;
+
+/// The lint name.
+pub const DETERMINISM_TAINT: &str = "determinism_taint";
+
+/// Runs the lint over the built graph.
+pub fn check(g: &ItemGraph<'_>, out: &mut Vec<Diagnostic>) {
+    for site in taint::source_sites(g) {
+        let n = &g.nodes[site.node];
+        // Tests and the property harness may be as nondeterministic as
+        // they like; everything they print is for a human.
+        match &g.files[n.file].role {
+            Role::Lib(c) | Role::Bin(c) if c != "check" => {}
+            _ => continue,
+        }
+        let tainted = taint::tainted_by(g, &site);
+        // The flow is reportable if any tainted function is a sink.
+        let sink = tainted
+            .iter()
+            .find(|&&t| taint::is_sim_state(g, t) || taint::is_sink_body(g, t));
+        let Some(&sink) = sink else { continue };
+        let sink_n = &g.nodes[sink];
+        let sink_desc = if taint::is_sim_state(g, sink) {
+            format!("simulator-state code (`{}`)", sink_n.qualified)
+        } else {
+            format!("an artifact/trace writer (`{}`)", sink_n.qualified)
+        };
+        let scan = &g.files[n.file].scan;
+        let mut d = Diagnostic::new(
+            DETERMINISM_TAINT,
+            &n.path,
+            site.line,
+            format!(
+                "{} `{}` in `{}` can flow into {sink_desc}: route it through a \
+                 `from_env` config constructor, or suppress with \
+                 `// profess: allow(determinism_taint): <why output stays deterministic>`",
+                site.kind.label(),
+                site.what,
+                n.qualified
+            ),
+        );
+        d.suppressed = scan.is_suppressed(DETERMINISM_TAINT, site.line);
+        out.push(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::FileItems;
+    use crate::workspace::SourceFile;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let parsed: Vec<FileItems> = files
+            .iter()
+            .map(|(p, s)| FileItems::parse(&SourceFile::new(p, s)))
+            .collect();
+        let g = ItemGraph::build(&parsed);
+        let mut out = Vec::new();
+        check(&g, &mut out);
+        out
+    }
+
+    #[test]
+    fn env_flowing_to_artifact_writer_is_flagged() {
+        let d = run(&[(
+            "crates/bench/src/x.rs",
+            "fn knob() -> String { std::env::var(\"PROFESS_K\").unwrap_or_default() }\n\
+             pub fn sweep() { let k = knob(); std::fs::write(\"out\", k); }\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("environment read"));
+        assert!(d[0].message.contains("artifact/trace writer"));
+        assert_eq!(d[0].line, 1, "flagged at the source site");
+    }
+
+    #[test]
+    fn env_with_no_sink_downstream_is_silent() {
+        let d = run(&[(
+            "crates/bench/src/x.rs",
+            "fn verbose() -> bool { std::env::var(\"PROFESS_VERBOSE\").is_ok() }\n\
+             pub fn chatter() { if verbose() { } }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn clock_reaching_sim_state_crate_is_flagged() {
+        let d = run(&[(
+            "crates/core/src/system.rs",
+            "impl System {\n pub fn step(&mut self) { let t = Instant::now(); }\n}\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("wall-clock read"));
+        assert!(d[0].message.contains("simulator-state code"));
+    }
+
+    #[test]
+    fn from_env_constructors_are_sanctioned() {
+        let d = run(&[(
+            "crates/bench/src/x.rs",
+            "pub fn cfg_from_env() -> u8 { std::env::var(\"PROFESS_N\").is_ok() as u8 }\n\
+             pub fn sweep() { let c = cfg_from_env(); std::fs::write(\"out\", \"x\"); }\n",
+        )]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_at_source_site_suppresses() {
+        let d = run(&[(
+            "crates/bench/src/x.rs",
+            "fn t() -> u64 {\n // profess: allow(determinism_taint): wall time is the measurement\n \
+             let t = Instant::now(); std::fs::write(\"out\", \"x\"); 0\n}\n",
+        )]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].suppressed);
+    }
+}

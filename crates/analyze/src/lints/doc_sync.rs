@@ -77,6 +77,100 @@ pub fn check(ws: &Workspace, out: &mut Vec<Diagnostic>) {
             out,
         );
     }
+    if let Some(f) = ws.get(LINT_TABLE_DOC) {
+        check_lint_table(&f.rel_path, &f.text, out);
+    }
+}
+
+/// The doc holding the lint table the registry is checked against.
+pub const LINT_TABLE_DOC: &str = "DESIGN.md";
+
+/// The section heading the lint table lives under.
+pub const LINT_TABLE_HEADING: &str = "### 9.1 The lints";
+
+/// Checks the DESIGN.md §9.1 lint table against `lints::REGISTRY`:
+/// every registered lint has a row, every row names a registered lint,
+/// and the documented level/suppressibility columns match the code.
+/// Skipped silently when the doc has no §9.1 heading (fixture trees).
+fn check_lint_table(path: &str, text: &str, out: &mut Vec<Diagnostic>) {
+    let Some(start) = text.find(LINT_TABLE_HEADING) else {
+        return;
+    };
+    let heading_line = text[..start].lines().count() as u32 + 1;
+    let section: Vec<(u32, &str)> = text[start..]
+        .lines()
+        .enumerate()
+        .skip(1)
+        .take_while(|(_, l)| !l.starts_with("### "))
+        .map(|(i, l)| (heading_line + i as u32, l))
+        .collect();
+    let mut documented: Vec<(u32, String, String, String)> = Vec::new();
+    for (lineno, line) in &section {
+        let Some(rest) = line.strip_prefix("| `") else {
+            continue;
+        };
+        let mut cols = rest.split('|').map(str::trim);
+        let name = cols
+            .next()
+            .unwrap_or_default()
+            .trim_matches('`')
+            .to_string();
+        let level = cols.next().unwrap_or_default().to_string();
+        let suppressible = cols.next().unwrap_or_default().to_string();
+        documented.push((*lineno, name, level, suppressible));
+    }
+    for (lineno, name, level, suppressible) in &documented {
+        let Some(info) = super::REGISTRY.iter().find(|l| l.name == *name) else {
+            out.push(Diagnostic::new(
+                DOC_SYNC,
+                path,
+                *lineno,
+                format!(
+                    "lint table row `{name}` names a lint the registry does not \
+                     declare — remove the row or register the lint"
+                ),
+            ));
+            continue;
+        };
+        let want_level = info.level.label();
+        if level != want_level {
+            out.push(Diagnostic::new(
+                DOC_SYNC,
+                path,
+                *lineno,
+                format!(
+                    "lint table row `{name}` documents level `{level}` but the \
+                     registry says `{want_level}`"
+                ),
+            ));
+        }
+        let want_sup = if info.suppressible { "yes" } else { "no" };
+        if suppressible != want_sup {
+            out.push(Diagnostic::new(
+                DOC_SYNC,
+                path,
+                *lineno,
+                format!(
+                    "lint table row `{name}` documents suppressible `{suppressible}` \
+                     but the registry says `{want_sup}`"
+                ),
+            ));
+        }
+    }
+    for info in super::REGISTRY {
+        if !documented.iter().any(|(_, name, _, _)| name == info.name) {
+            out.push(Diagnostic::new(
+                DOC_SYNC,
+                path,
+                heading_line,
+                format!(
+                    "registered lint `{}` has no row in the §9.1 lint table — \
+                     document its level, suppressibility, scope, and rule",
+                    info.name
+                ),
+            ));
+        }
+    }
 }
 
 /// File stem of a `.rs` path (`crates/bench/src/bin/fig05.rs` → `fig05`).
@@ -346,6 +440,43 @@ mod tests {
             "cargo run -p profess-bench --bin fig05 -- --bin not_a_target\n",
         ));
         assert!(run(files).is_empty());
+    }
+
+    #[test]
+    fn lint_table_checked_against_registry() {
+        // A complete, accurate table is clean.
+        let rows: String = crate::lints::REGISTRY
+            .iter()
+            .map(|l| {
+                format!(
+                    "| `{}` | {} | {} | scope | rule |\n",
+                    l.name,
+                    l.level.label(),
+                    if l.suppressible { "yes" } else { "no" }
+                )
+            })
+            .collect();
+        let ok = format!("{LINT_TABLE_HEADING}\n\n| lint | level | … |\n|---|---|---|\n{rows}");
+        assert!(run(vec![("DESIGN.md", &ok)]).is_empty());
+
+        // A phantom row, a wrong level, and a missing lint all fire.
+        let bad = format!(
+            "{LINT_TABLE_HEADING}\n\n| `ghost_lint` | error | yes | s | r |\n\
+             | `panic` | warn | yes | s | r |\n"
+        );
+        let out = run(vec![("DESIGN.md", &bad)]);
+        let msgs: Vec<&str> = out.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("`ghost_lint`")), "{msgs:?}");
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`panic`") && m.contains("level")),
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter()
+                .any(|m| m.contains("`dead_item`") && m.contains("no row")),
+            "{msgs:?}"
+        );
     }
 
     #[test]

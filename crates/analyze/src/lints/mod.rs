@@ -24,15 +24,119 @@
 //! `crates/analyze/tests/lints.rs`.
 
 pub mod code;
+pub mod dead_item;
+pub mod determinism;
 pub mod doc_sync;
 pub mod hermetic;
+pub mod panic_reach;
 pub mod snapshot_schema;
 pub mod surface_schema;
 pub mod trace_schema;
 
-use crate::diag::{self, Diagnostic};
+use crate::diag::{self, Diagnostic, Level};
+use crate::graph::{GraphStats, ItemGraph};
+use crate::items::FileItems;
 use crate::scan::{scan, Scan, Spanned, Tok};
 use crate::workspace::Workspace;
+
+/// `stale_allow`: a suppression comment that suppresses nothing.
+pub const STALE_ALLOW: &str = "stale_allow";
+
+/// One registry entry: everything `--list-lints` and the DESIGN.md
+/// lint table must agree on.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    /// The lint name (the `allow(...)` key).
+    pub name: &'static str,
+    /// Error (gates CI) or Warn (advisory, baselined).
+    pub level: Level,
+    /// Whether `// profess: allow(<name>)` is honored.
+    pub suppressible: bool,
+}
+
+/// The full lint registry, in documentation order.
+pub const REGISTRY: &[LintInfo] = &[
+    LintInfo {
+        name: code::HASH_COLLECTIONS,
+        level: Level::Error,
+        suppressible: true,
+    },
+    LintInfo {
+        name: code::WALL_CLOCK,
+        level: Level::Error,
+        suppressible: true,
+    },
+    LintInfo {
+        name: code::THREAD_SPAWN,
+        level: Level::Error,
+        suppressible: true,
+    },
+    LintInfo {
+        name: code::PANIC,
+        level: Level::Error,
+        suppressible: true,
+    },
+    LintInfo {
+        name: code::UNSAFE_CODE,
+        level: Level::Error,
+        suppressible: true,
+    },
+    LintInfo {
+        name: code::HOT_PATH_MAP,
+        level: Level::Error,
+        suppressible: true,
+    },
+    LintInfo {
+        name: panic_reach::PANIC_REACHABILITY,
+        level: Level::Error,
+        suppressible: true,
+    },
+    LintInfo {
+        name: determinism::DETERMINISM_TAINT,
+        level: Level::Error,
+        suppressible: true,
+    },
+    LintInfo {
+        name: dead_item::DEAD_ITEM,
+        level: Level::Warn,
+        suppressible: true,
+    },
+    LintInfo {
+        name: STALE_ALLOW,
+        level: Level::Warn,
+        suppressible: false,
+    },
+    LintInfo {
+        name: hermetic::HERMETIC_DEPS,
+        level: Level::Error,
+        suppressible: false,
+    },
+    LintInfo {
+        name: hermetic::HERMETIC_LOCK,
+        level: Level::Error,
+        suppressible: false,
+    },
+    LintInfo {
+        name: trace_schema::TRACE_SCHEMA,
+        level: Level::Error,
+        suppressible: false,
+    },
+    LintInfo {
+        name: snapshot_schema::SNAPSHOT_SCHEMA,
+        level: Level::Error,
+        suppressible: false,
+    },
+    LintInfo {
+        name: surface_schema::SURFACE_SCHEMA,
+        level: Level::Error,
+        suppressible: false,
+    },
+    LintInfo {
+        name: doc_sync::DOC_SYNC,
+        level: Level::Error,
+        suppressible: false,
+    },
+];
 
 /// Every lint name, for documentation and `--list`.
 pub const ALL_LINTS: &[&str] = &[
@@ -42,6 +146,10 @@ pub const ALL_LINTS: &[&str] = &[
     code::PANIC,
     code::UNSAFE_CODE,
     code::HOT_PATH_MAP,
+    panic_reach::PANIC_REACHABILITY,
+    determinism::DETERMINISM_TAINT,
+    dead_item::DEAD_ITEM,
+    STALE_ALLOW,
     hermetic::HERMETIC_DEPS,
     hermetic::HERMETIC_LOCK,
     trace_schema::TRACE_SCHEMA,
@@ -50,29 +158,117 @@ pub const ALL_LINTS: &[&str] = &[
     doc_sync::DOC_SYNC,
 ];
 
-/// Runs the whole suite over a workspace. Returns all diagnostics —
-/// including suppressed ones, flagged as such — in canonical order.
-pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+/// One `// profess: allow(<lint>)` marker, with whether it earned its
+/// keep this run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowRecord {
+    /// Workspace-relative path of the file holding the comment.
+    pub path: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The lint name inside `allow(...)`.
+    pub lint: String,
+    /// The justification after `): `, empty if none was given.
+    pub reason: String,
+    /// True when the marker suppressed at least one diagnostic.
+    pub used: bool,
+}
+
+/// The full result of a suite run.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// All diagnostics, suppressed ones included, in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Call-graph statistics.
+    pub graph: GraphStats,
+    /// Every suppression marker in the tree, with usage.
+    pub allows: Vec<AllowRecord>,
+}
+
+/// Runs the whole suite over a workspace.
+pub fn run_all(ws: &Workspace) -> Suite {
     let mut diags = Vec::new();
-    for f in &ws.files {
-        if f.rel_path.ends_with(".rs") {
-            let s = scan(&f.text);
-            let tests = test_regions(&s.tokens);
-            let mut file_diags = Vec::new();
-            code::check(f, &s, &tests, &mut file_diags);
-            for mut d in file_diags {
-                d.suppressed = s.is_suppressed(d.lint, d.line);
-                diags.push(d);
-            }
+    let parsed: Vec<FileItems> = crate::graph::parse_workspace(ws);
+    // Code lints ride the same scans the item parser produced.
+    for p in &parsed {
+        let Some(f) = ws.get(&p.rel_path) else {
+            continue;
+        };
+        let mut file_diags = Vec::new();
+        code::check(f, &p.scan, &p.test_regions, &mut file_diags);
+        for mut d in file_diags {
+            d.suppressed = p.scan.is_suppressed(d.lint, d.line);
+            diags.push(d);
         }
     }
+    // Graph lints.
+    let graph = ItemGraph::build(&parsed);
+    panic_reach::check(&graph, &mut diags);
+    determinism::check(&graph, &mut diags);
+    dead_item::check(&parsed, &mut diags);
+    let stats = graph.stats();
+    drop(graph);
+    // Cross-file lints.
     hermetic::check(ws, &mut diags);
     trace_schema::check(ws, &mut diags);
     snapshot_schema::check(ws, &mut diags);
     surface_schema::check(ws, &mut diags);
     doc_sync::check(ws, &mut diags);
+    // Suppression inventory + stale_allow, after every producer ran.
+    let allows = allow_inventory(&parsed, &diags);
+    for a in allows.iter().filter(|a| !a.used) {
+        diags.push(Diagnostic::warn(
+            STALE_ALLOW,
+            &a.path,
+            a.line,
+            format!(
+                "`allow({})` suppresses nothing — remove the marker, or fix the lint \
+                 name if it is a typo",
+                a.lint
+            ),
+        ));
+    }
     diag::sort(&mut diags);
-    diags
+    Suite {
+        diagnostics: diags,
+        graph: stats,
+        allows,
+    }
+}
+
+/// Builds the suppression inventory: every allow marker, marked used
+/// when it covers at least one suppressed diagnostic. An `allow(panic)`
+/// also earns its keep by covering a `panic_reachability` site (the
+/// carry-over rule in [`panic_reach`]).
+fn allow_inventory(parsed: &[FileItems], diags: &[Diagnostic]) -> Vec<AllowRecord> {
+    let mut out = Vec::new();
+    for p in parsed {
+        // Fixture trees are lint *specimens*: their allow markers belong
+        // to the fixture's own analysis run (where the suppressed lint
+        // actually fires), not to this workspace's policy, so they stay
+        // out of the inventory and never read as stale here.
+        if p.rel_path.contains("/fixtures/") {
+            continue;
+        }
+        for s in &p.scan.suppressions {
+            let used = diags.iter().any(|d| {
+                d.suppressed
+                    && d.path == p.rel_path
+                    && (d.line == s.line || d.line == s.line + 1)
+                    && (d.lint == s.lint
+                        || (s.lint == code::PANIC && d.lint == panic_reach::PANIC_REACHABILITY))
+            });
+            out.push(AllowRecord {
+                path: p.rel_path.clone(),
+                line: s.line,
+                lint: s.lint.clone(),
+                reason: s.reason.clone(),
+                used,
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.lint).cmp(&(&b.path, b.line, &b.lint)));
+    out
 }
 
 /// Line ranges (inclusive) covered by `#[cfg(test)] mod ... { ... }`
@@ -200,5 +396,66 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), ALL_LINTS.len());
+    }
+
+    #[test]
+    fn registry_matches_all_lints() {
+        assert_eq!(
+            REGISTRY.iter().map(|l| l.name).collect::<Vec<_>>(),
+            ALL_LINTS.to_vec(),
+            "REGISTRY and ALL_LINTS must list the same lints in the same order"
+        );
+    }
+
+    #[test]
+    fn stale_allow_fires_for_unused_and_unknown_markers() {
+        use crate::workspace::{SourceFile, Workspace};
+        let ws = Workspace {
+            files: vec![
+                SourceFile::new("Cargo.toml", "[workspace]\nmembers = []\n"),
+                SourceFile::new("Cargo.lock", "version = 4\n"),
+                SourceFile::new(
+                    "crates/mem/src/x.rs",
+                    "#![forbid(unsafe_code)]\n\
+                     // profess: allow(panic): real invariant\n\
+                     pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                     // profess: allow(panic): nothing here panics\n\
+                     pub fn g() -> u8 { f(Some(1)) }\n\
+                     // profess: allow(no_such_lint): typo\n\
+                     pub fn h() { g(); }\n\
+                     fn caller() { h(); caller(); }\n",
+                ),
+            ],
+        };
+        let suite = run_all(&ws);
+        let stale: Vec<&Diagnostic> = suite
+            .diagnostics
+            .iter()
+            .filter(|d| d.lint == STALE_ALLOW)
+            .collect();
+        assert_eq!(stale.len(), 2, "{stale:?}");
+        assert!(stale[0].message.contains("allow(panic)"));
+        assert!(stale[1].message.contains("allow(no_such_lint)"));
+        let used: Vec<bool> = suite.allows.iter().map(|a| a.used).collect();
+        assert_eq!(used, vec![true, false, false]);
+        assert_eq!(suite.allows[0].reason, "real invariant");
+    }
+
+    #[test]
+    fn fixture_allows_stay_out_of_the_inventory() {
+        use crate::workspace::{SourceFile, Workspace};
+        let ws = Workspace {
+            files: vec![SourceFile::new(
+                "crates/analyze/tests/fixtures/gate/tree/crates/core/src/lib.rs",
+                "// profess: allow(wall_clock): specimen for the fixture's own run\n\
+                 pub fn f() {}\n",
+            )],
+        };
+        let suite = run_all(&ws);
+        assert!(suite.allows.is_empty(), "{:?}", suite.allows);
+        assert!(
+            suite.diagnostics.iter().all(|d| d.lint != STALE_ALLOW),
+            "fixture specimen must not read as a stale allow"
+        );
     }
 }

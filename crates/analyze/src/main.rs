@@ -1,39 +1,83 @@
 //! The `profess-analyze` gate binary.
 //!
 //! ```text
-//! profess-analyze [--json <path>] [--list] [root]
+//! profess-analyze [--json <path>] [--list] [--list-lints] [root]
+//! profess-analyze gate [--baseline <path>] [--write-baseline] [root]
 //! ```
 //!
-//! Analyzes the workspace (found by walking up from the current
-//! directory to the outermost `Cargo.lock`, or given explicitly),
-//! prints every diagnostic, and exits non-zero if any unsuppressed
-//! diagnostic remains. `--json` additionally writes the machine-readable
-//! `ANALYZE.json`; with `PROFESS_RESULTS_DIR` set and no `--json`, the
-//! report lands in `$PROFESS_RESULTS_DIR/ANALYZE.json`.
+//! **Analyze mode** (default): analyzes the workspace (found by walking
+//! up from the current directory to the outermost `Cargo.lock`, or
+//! given explicitly), prints every diagnostic, and exits non-zero if
+//! any unsuppressed *error* remains (warnings are advisory). `--json`
+//! additionally writes the machine-readable `ANALYZE.json`; with
+//! `PROFESS_RESULTS_DIR` set and no `--json`, the report lands in
+//! `$PROFESS_RESULTS_DIR/ANALYZE.json`, next to an `ANALYZE_PERF.json`
+//! holding the run's wall time and per-lint counts (kept out of
+//! `ANALYZE.json` so the committed baseline stays byte-deterministic).
+//!
+//! **Gate mode**: diffs a fresh run against a committed baseline
+//! (`--baseline` > `PROFESS_ANALYZE_BASELINE` > `<root>/results/
+//! ANALYZE.json`), mirroring `benchgate`. Any diagnostic not in the
+//! baseline — suppressed ones included, so new `allow` markers are
+//! always a reviewed refresh — exits 2; diagnostics that disappeared
+//! pass with a refresh prompt; `--write-baseline` rewrites the baseline
+//! in place. Exit 1 means the gate itself could not run.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use profess_analyze::{analyze_root, lints, workspace};
+use profess_analyze::{analyze_root, baseline, lints, workspace, Analysis};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: profess-analyze [--json <path>] [--list] [root]");
+    eprintln!(
+        "usage: profess-analyze [--json <path>] [--list] [--list-lints] [root]\n\
+                profess-analyze gate [--baseline <path>] [--write-baseline] [root]"
+    );
     ExitCode::from(2)
 }
 
+fn resolve_root(root_arg: Option<PathBuf>) -> Result<PathBuf, ExitCode> {
+    match root_arg {
+        Some(r) => Ok(r),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            workspace::find_root(&cwd).ok_or_else(|| {
+                eprintln!("profess-analyze: no Cargo.lock above {}", cwd.display());
+                ExitCode::from(2)
+            })
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("gate") {
+        return gate(&args[1..]);
+    }
+
     let mut json_path: Option<PathBuf> = None;
     let mut root_arg: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => match args.next() {
+            "--json" => match it.next() {
                 Some(p) => json_path = Some(PathBuf::from(p)),
                 None => return usage(),
             },
             "--list" => {
                 for lint in lints::ALL_LINTS {
                     println!("{lint}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--list-lints" => {
+                for l in lints::REGISTRY {
+                    println!(
+                        "{}|{}|{}",
+                        l.name,
+                        l.level.label(),
+                        if l.suppressible { "yes" } else { "no" }
+                    );
                 }
                 return ExitCode::SUCCESS;
             }
@@ -44,20 +88,13 @@ fn main() -> ExitCode {
         }
     }
 
-    let root = match root_arg {
-        Some(r) => r,
-        None => {
-            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-            match workspace::find_root(&cwd) {
-                Some(r) => r,
-                None => {
-                    eprintln!("profess-analyze: no Cargo.lock above {}", cwd.display());
-                    return ExitCode::from(2);
-                }
-            }
-        }
+    let root = match resolve_root(root_arg) {
+        Ok(r) => r,
+        Err(code) => return code,
     };
 
+    // profess: allow(wall_clock, determinism_taint): measures the analyzer's own run; lands only in ANALYZE_PERF.json, never the baseline
+    let t0 = std::time::Instant::now();
     let analysis = match analyze_root(&root) {
         Ok(a) => a,
         Err(e) => {
@@ -65,21 +102,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let wall_ms = t0.elapsed().as_millis();
 
     for d in &analysis.diagnostics {
         println!("{}", d.render());
     }
-    let active = analysis.active().count();
-    let suppressed = analysis.diagnostics.len() - active;
+    let errors = analysis.active_errors().count();
+    let warnings = analysis.active_warnings().count();
+    let suppressed = analysis.diagnostics.len() - errors - warnings;
     println!(
-        "profess-analyze: {} file(s), {} violation(s), {} allowed",
-        analysis.files_scanned, active, suppressed
+        "profess-analyze: {} file(s), {} violation(s), {} warning(s), {} allowed; \
+         graph: {} fn(s), {} call edge(s)",
+        analysis.files_scanned,
+        errors,
+        warnings,
+        suppressed,
+        analysis.graph.fns,
+        analysis.graph.calls
     );
 
+    // profess: allow(determinism_taint): results-dir layout is operator I/O plumbing; artifact contents are deterministic
+    let results_dir = std::env::var_os("PROFESS_RESULTS_DIR").map(PathBuf::from);
     if json_path.is_none() {
-        if let Some(dir) = std::env::var_os("PROFESS_RESULTS_DIR") {
-            json_path = Some(PathBuf::from(dir).join("ANALYZE.json"));
-        }
+        json_path = results_dir.as_ref().map(|d| d.join("ANALYZE.json"));
     }
     if let Some(path) = json_path {
         let io = path
@@ -94,10 +139,173 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(dir) = results_dir {
+        let path = dir.join("ANALYZE_PERF.json");
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, perf_json(&analysis, wall_ms)))
+        {
+            eprintln!("profess-analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("perf artifact: {}", path.display());
+    }
 
-    if active == 0 {
+    if errors == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// The `ANALYZE_PERF.json` document: the analyzer's own trend line.
+/// Unlike `ANALYZE.json` it carries wall time, so it is never committed.
+fn perf_json(a: &Analysis, wall_ms: u128) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"tool\":\"profess-analyze-perf\",\"version\":1,\"wall_ms\":{wall_ms},\
+         \"files_scanned\":{},\"graph\":{{\"files\":{},\"items\":{},\"fns\":{},\"calls\":{}}},\
+         \"counts\":{{",
+        a.files_scanned, a.graph.files, a.graph.items, a.graph.fns, a.graph.calls
+    );
+    for (i, (name, active, sup)) in a.counts().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{name}\":{{\"active\":{active},\"suppressed\":{sup}}}"
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// The `gate` subcommand. Exit 0 = no new diagnostics, 1 = the gate
+/// could not run, 2 = new diagnostics vs. the baseline.
+fn gate(args: &[String]) -> ExitCode {
+    let mut baseline_arg: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline_arg = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => return usage(),
+            _ if a.starts_with('-') => return usage(),
+            _ if root_arg.is_none() => root_arg = Some(PathBuf::from(a)),
+            _ => return usage(),
+        }
+    }
+    let root = match resolve_root(root_arg) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    // profess: allow(determinism_taint): baseline-path selection is operator plumbing; the diff itself is deterministic
+    let env_baseline = std::env::var_os("PROFESS_ANALYZE_BASELINE").map(PathBuf::from);
+    let baseline_path = baseline_arg
+        .or(env_baseline)
+        .unwrap_or_else(|| root.join("results").join("ANALYZE.json"));
+
+    let analysis = match analyze_root(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("analyzegate: cannot read {}: {e}", root.display());
+            return ExitCode::from(1);
+        }
+    };
+
+    if write_baseline {
+        let io = baseline_path
+            .parent()
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| std::fs::write(&baseline_path, analysis.to_json()));
+        return match io {
+            Ok(()) => {
+                println!("analyzegate: baseline written: {}", baseline_path.display());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("analyzegate: cannot write {}: {e}", baseline_path.display());
+                ExitCode::from(1)
+            }
+        };
+    }
+
+    let doc = match std::fs::read_to_string(&baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!(
+                "analyzegate: cannot read baseline {}: {e}\n\
+                 analyzegate: create one with `profess-analyze gate --write-baseline`",
+                baseline_path.display()
+            );
+            return ExitCode::from(1);
+        }
+    };
+    let base = match baseline::parse(&doc) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "analyzegate: malformed baseline {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(1);
+        }
+    };
+
+    let diff = baseline::diff(&base, &analysis.diagnostics);
+    report_gate(&diff, &base, &analysis, &baseline_path)
+}
+
+fn report_gate(
+    diff: &baseline::Diff,
+    base: &[baseline::Key],
+    analysis: &Analysis,
+    baseline_path: &Path,
+) -> ExitCode {
+    println!(
+        "analyzegate: baseline {} ({} entr{}), fresh run {} entr{}",
+        baseline_path.display(),
+        base.len(),
+        if base.len() == 1 { "y" } else { "ies" },
+        analysis.diagnostics.len(),
+        if analysis.diagnostics.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    );
+    for (k, n) in &diff.removed {
+        println!("analyzegate: resolved x{n}: {}", k.render());
+    }
+    for (k, n) in &diff.new {
+        println!("analyzegate: NEW x{n}: {}", k.render());
+    }
+    if !diff.new.is_empty() {
+        // Unsuppressed errors among the new entries are double trouble,
+        // but any new entry — a new allow, a new warning — fails: the
+        // baseline is the review record.
+        println!(
+            "analyzegate: FAIL — {} new diagnostic(s); fix them, or refresh the reviewed \
+             baseline with `profess-analyze gate --write-baseline`",
+            diff.new.len()
+        );
+        return ExitCode::from(2);
+    }
+    if !diff.removed.is_empty() {
+        println!(
+            "analyzegate: OK — {} diagnostic(s) resolved; refresh the baseline with \
+             `profess-analyze gate --write-baseline` to ratchet",
+            diff.removed.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("analyzegate: OK — fresh run matches the baseline");
+    ExitCode::SUCCESS
 }

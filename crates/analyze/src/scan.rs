@@ -42,6 +42,8 @@ pub struct Suppression {
     pub lint: String,
     /// 1-based line the comment sits on.
     pub line: u32,
+    /// The justification after the closing paren (`): reason`), if any.
+    pub reason: String,
 }
 
 /// A fully scanned source file.
@@ -122,6 +124,19 @@ pub fn scan(text: &str) -> Scan {
                 i = ni;
                 line = nl;
             }
+            b'r' if is_raw_ident(b, i) => {
+                // `r#ident` — the escaped spelling of a keyword-named
+                // identifier; lexes as the bare identifier.
+                let start = i + 2;
+                i = start;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Spanned {
+                    tok: Tok::Ident(text[start..i].to_string()),
+                    line,
+                });
+            }
             b'\'' => {
                 i = scan_quote(b, i);
             }
@@ -150,6 +165,14 @@ pub fn scan(text: &str) -> Scan {
     out
 }
 
+/// Recognizes `r#ident` raw identifiers (one hash, then an identifier
+/// start — `r#"` is a raw string and `r##` can only open one).
+fn is_raw_ident(b: &[u8], i: usize) -> bool {
+    b.get(i + 1) == Some(&b'#')
+        && b.get(i + 2)
+            .is_some_and(|&c| c == b'_' || c.is_ascii_alphabetic())
+}
+
 /// Recognizes `r"`, `r#"`, `b"`, `br"`, `br#"`, `rb` is not Rust.
 fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
     let mut j = i;
@@ -172,7 +195,9 @@ fn scan_string(b: &[u8], mut i: usize, mut line: u32) -> (String, usize, u32) {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            // An escape skips two bytes; a trailing backslash in an
+            // unterminated literal must not run the cursor past EOF.
+            b'\\' => i = (i + 2).min(b.len()),
             b'"' => {
                 let s = String::from_utf8_lossy(&b[start..i]).into_owned();
                 return (s, i + 1, line);
@@ -271,12 +296,18 @@ fn record_suppression(comment: &str, line: u32, out: &mut Scan) {
     let Some(end) = rest.find(')') else {
         return;
     };
+    let reason = rest[end + 1..]
+        .trim_start()
+        .trim_start_matches(':')
+        .trim()
+        .to_string();
     for lint in rest[..end].split(',') {
         let lint = lint.trim();
         if !lint.is_empty() {
             out.suppressions.push(Suppression {
                 lint: lint.to_string(),
                 line,
+                reason: reason.clone(),
             });
         }
     }
@@ -294,6 +325,26 @@ mod tests {
                 _ => None,
             })
             .collect()
+    }
+
+    #[test]
+    fn unterminated_string_with_trailing_backslash_does_not_panic() {
+        // Found by `arbitrary_soup_scans_totally`: the escape arm used to
+        // advance the cursor two bytes past a final backslash, and the
+        // EOF fallback then sliced out of bounds.
+        let s = scan("let s = \"abc\\");
+        let strs: Vec<&str> = s
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(v) => Some(v.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["abc\\"], "unterminated literal still tokenizes");
+        // The degenerate two-byte case: a quote then a lone backslash.
+        let s2 = scan("\"\\");
+        assert_eq!(s2.tokens.len(), 1);
     }
 
     #[test]
@@ -341,6 +392,8 @@ mod tests {
             "// profess: allow(panic)\nfoo();\nbar(); // profess: allow(wall_clock): timing probe\n",
         );
         assert_eq!(s.suppressions.len(), 2);
+        assert_eq!(s.suppressions[0].reason, "");
+        assert_eq!(s.suppressions[1].reason, "timing probe");
         assert!(s.is_suppressed("panic", 1));
         assert!(s.is_suppressed("panic", 2), "applies to the next line");
         assert!(!s.is_suppressed("panic", 3));
@@ -352,6 +405,27 @@ mod tests {
         let s = scan("// profess: allow(panic, hash_collections)\nx();\n");
         assert!(s.is_suppressed("panic", 2));
         assert!(s.is_suppressed("hash_collections", 2));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let s = scan("fn r#match(r#fn: u8) { r#fn + 1; }\nlet r = r#\"still a string\"#;");
+        assert_eq!(
+            idents(&s),
+            vec![
+                ("fn", 1),
+                ("match", 1),
+                ("fn", 1),
+                ("u8", 1),
+                ("fn", 1),
+                ("let", 2),
+                ("r", 2)
+            ]
+        );
+        assert!(s
+            .tokens
+            .iter()
+            .any(|t| t.tok == Tok::Str("still a string".to_string())));
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Determinism taint: where nondeterminism enters a function and which
+//! functions it can flow to.
+//!
+//! The model is value-flow-free and coarse on purpose: a function body
+//! that *contains* a nondeterminism source is tainted, and taint
+//! propagates to every transitive **caller** (callers consume the
+//! source-derived value). A flow is reportable when any function in the
+//! tainted set contains a *sink* — an artifact write, a trace emitter,
+//! or any code in a simulator-state crate. Like the call graph itself
+//! this overapproximates: it cannot miss a real env→artifact flow, and
+//! phantom flows are retired with one-line `allow` justifications.
+//!
+//! The sanctioned config layer is exempt at the seed: functions whose
+//! name contains `from_env` exist precisely to read `PROFESS_*` knobs
+//! into fingerprinted config structs, so sources inside them do not
+//! seed taint.
+
+use std::collections::BTreeSet;
+
+use crate::graph::ItemGraph;
+use crate::scan::Tok;
+
+/// What kind of nondeterminism a source site introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// `std::env::var`/`var_os`/`vars` — process environment.
+    Env,
+    /// `Instant::now`/`SystemTime::now` — wall clock.
+    Clock,
+    /// `thread::current` ids or `available_parallelism` — scheduling.
+    Thread,
+    /// `HashMap`/`HashSet` — unspecified iteration order.
+    HashOrder,
+}
+
+impl SourceKind {
+    /// Short label for messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::Env => "environment read",
+            SourceKind::Clock => "wall-clock read",
+            SourceKind::Thread => "thread/scheduling query",
+            SourceKind::HashOrder => "hash-order iteration",
+        }
+    }
+}
+
+/// One nondeterminism source site inside a function body.
+#[derive(Debug, Clone)]
+pub struct SourceSite {
+    /// Node id of the containing function.
+    pub node: usize,
+    /// 1-based line of the source token.
+    pub line: u32,
+    /// The token that identified the source (e.g. `env::var`).
+    pub what: String,
+    /// Which kind of nondeterminism.
+    pub kind: SourceKind,
+}
+
+/// Sink idents: calls that put bytes where a user or a gate will read
+/// them. `fs::write`/`create_dir_all` are matched as paths below.
+const SINK_IDENTS: &[&str] = &[
+    "write_rows_artifact",
+    "write_surface_artifact",
+    "emit_with",
+    "to_jsonl",
+];
+
+/// Finds every nondeterminism source site in non-test function bodies,
+/// skipping the sanctioned config layer (`*from_env*` functions).
+pub fn source_sites(g: &ItemGraph<'_>) -> Vec<SourceSite> {
+    let mut out = Vec::new();
+    for (id, n) in g.nodes.iter().enumerate() {
+        if n.in_test || n.name.contains("from_env") {
+            continue;
+        }
+        let f = &g.files[n.file];
+        let (s, e) = f.items[n.item].body;
+        let toks = &f.scan.tokens[s..e];
+        for (k, t) in toks.iter().enumerate() {
+            let Tok::Ident(id_str) = &t.tok else { continue };
+            if !f.innermost_fn(n.item, s + k) {
+                continue;
+            }
+            let kind = match id_str.as_str() {
+                "env" if path_calls(toks, k, &["var", "var_os", "vars"]) => Some(SourceKind::Env),
+                "Instant" | "SystemTime" if path_calls(toks, k, &["now"]) => {
+                    Some(SourceKind::Clock)
+                }
+                "thread" if path_calls(toks, k, &["current"]) => Some(SourceKind::Thread),
+                "available_parallelism" => Some(SourceKind::Thread),
+                "HashMap" | "HashSet" => Some(SourceKind::HashOrder),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                let what = match kind {
+                    SourceKind::Env => format!("{id_str}::var"),
+                    SourceKind::Clock => format!("{id_str}::now"),
+                    _ => id_str.clone(),
+                };
+                out.push(SourceSite {
+                    node: id,
+                    line: t.line,
+                    what,
+                    kind,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Is `toks[k]` followed by `::` and one of `methods`?
+fn path_calls(toks: &[crate::scan::Spanned], k: usize, methods: &[&str]) -> bool {
+    if toks.get(k + 1).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+        || toks.get(k + 2).map(|t| &t.tok) != Some(&Tok::Punct(':'))
+    {
+        return false;
+    }
+    match toks.get(k + 3).map(|t| &t.tok) {
+        Some(Tok::Ident(m)) => methods.contains(&m.as_str()),
+        _ => false,
+    }
+}
+
+/// Does node `id`'s body contain a sink — an artifact writer call, a
+/// trace emitter, or `fs::write`/`fs::create_dir_all`?
+pub fn is_sink_body(g: &ItemGraph<'_>, id: usize) -> bool {
+    let n = &g.nodes[id];
+    let f = &g.files[n.file];
+    let (s, e) = f.items[n.item].body;
+    let toks = &f.scan.tokens[s..e];
+    toks.iter().enumerate().any(|(k, t)| match &t.tok {
+        Tok::Ident(w) if SINK_IDENTS.contains(&w.as_str()) => true,
+        Tok::Ident(w) if w == "fs" => path_calls(toks, k, &["write", "create_dir_all"]),
+        _ => false,
+    })
+}
+
+/// Is node `id` simulator-state code (library source of a sim crate)?
+pub fn is_sim_state(g: &ItemGraph<'_>, id: usize) -> bool {
+    let n = &g.nodes[id];
+    matches!(&g.files[n.file].role,
+             crate::workspace::Role::Lib(c) if matches!(c.as_str(), "core" | "mem" | "cpu" | "cache"))
+}
+
+/// The tainted set for one source: the containing function and all its
+/// transitive callers.
+pub fn tainted_by(g: &ItemGraph<'_>, site: &SourceSite) -> BTreeSet<usize> {
+    g.callers_of(&[site.node])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ItemGraph;
+    use crate::items::FileItems;
+    use crate::workspace::SourceFile;
+
+    fn parse(files: &[(&str, &str)]) -> Vec<FileItems> {
+        files
+            .iter()
+            .map(|(p, s)| FileItems::parse(&SourceFile::new(p, s)))
+            .collect()
+    }
+
+    #[test]
+    fn env_and_clock_sources_found_outside_config_layer() {
+        let files = parse(&[(
+            "crates/bench/src/x.rs",
+            "fn raw() { let v = std::env::var(\"PROFESS_X\"); }\n\
+             fn cfg_from_env() { let v = std::env::var(\"PROFESS_Y\"); }\n\
+             fn timed() { let t = Instant::now(); }\n",
+        )]);
+        let g = ItemGraph::build(&files);
+        let sites = source_sites(&g);
+        let names: Vec<(&str, &str)> = sites
+            .iter()
+            .map(|s| (g.nodes[s.node].name.as_str(), s.what.as_str()))
+            .collect();
+        assert_eq!(names, vec![("raw", "env::var"), ("timed", "Instant::now")]);
+        assert_eq!(sites[1].kind, SourceKind::Clock);
+    }
+
+    #[test]
+    fn taint_reaches_transitive_callers_and_sinks_detect() {
+        let files = parse(&[(
+            "crates/bench/src/x.rs",
+            "fn leaf() { let t = Instant::now(); }\n\
+             fn mid() { leaf(); }\n\
+             fn writer() { mid(); std::fs::write(\"a\", \"b\"); }\n\
+             fn clean() { std::fs::write(\"a\", \"b\"); }\n",
+        )]);
+        let g = ItemGraph::build(&files);
+        let sites = source_sites(&g);
+        assert_eq!(sites.len(), 1);
+        let tainted = tainted_by(&g, &sites[0]);
+        let names: Vec<&str> = tainted.iter().map(|&i| g.nodes[i].name.as_str()).collect();
+        assert_eq!(names, vec!["leaf", "mid", "writer"]);
+        let writer = g.find("crates/bench/src/x.rs", "writer")[0];
+        let clean = g.find("crates/bench/src/x.rs", "clean")[0];
+        assert!(is_sink_body(&g, writer));
+        assert!(is_sink_body(&g, clean), "sinks are taint-independent");
+        let leaf = g.find("crates/bench/src/x.rs", "leaf")[0];
+        assert!(!is_sink_body(&g, leaf));
+    }
+
+    #[test]
+    fn sim_state_crate_membership_is_a_sink_property() {
+        let files = parse(&[
+            ("crates/core/src/a.rs", "pub fn step() {}\n"),
+            ("crates/bench/src/b.rs", "pub fn measure() {}\n"),
+        ]);
+        let g = ItemGraph::build(&files);
+        assert!(is_sim_state(&g, g.find("crates/core/src/a.rs", "step")[0]));
+        assert!(!is_sim_state(
+            &g,
+            g.find("crates/bench/src/b.rs", "measure")[0]
+        ));
+    }
+
+    #[test]
+    fn test_module_sources_are_ignored() {
+        let files = parse(&[(
+            "crates/bench/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n fn t() { let x = Instant::now(); }\n}\n",
+        )]);
+        let g = ItemGraph::build(&files);
+        assert!(source_sites(&g).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Analyzegate fixture library: a deliberately non-clean crate whose
+//! diagnostics pin the committed baselines next to this tree.
+//!
+//! Scanned as part of the real repository this file sits under
+//! `tests/fixtures/` and classifies as test code, so nothing here leaks
+//! into the repository's own analysis; scanned with this `tree/` as the
+//! workspace root it is `crates/core/src/lib.rs` — a sim-state library —
+//! and every construct below lands in ANALYZE.json exactly once.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+/// Active `hash_collections` error: unordered state in a sim crate.
+pub fn count(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m.len()
+}
+
+/// Suppressed `wall_clock` error: the baseline records the allow, so a
+/// *new* allow elsewhere still fails the gate.
+pub fn stamp() -> u64 {
+    // profess: allow(wall_clock): fixture exercises the suppressed-entry path of the gate
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// `dead_item` warning: private, never called, not a root.
+fn orphan() -> u32 {
+    41
+}

@@ -249,6 +249,10 @@ fn lint_list_is_complete() {
         "panic",
         "unsafe_code",
         "hot_path_map",
+        "panic_reachability",
+        "determinism_taint",
+        "dead_item",
+        "stale_allow",
         "hermetic_deps",
         "hermetic_lock",
         "trace_schema",
@@ -258,7 +262,172 @@ fn lint_list_is_complete() {
     ] {
         assert!(lints::ALL_LINTS.contains(&lint), "{lint} not registered");
     }
-    assert_eq!(lints::ALL_LINTS.len(), 12);
+    assert_eq!(lints::ALL_LINTS.len(), 16);
+}
+
+#[test]
+fn panic_reachability_positive_and_suppressed() {
+    // A policy `on_access` entry point reaching an unwrap through a
+    // helper is flagged at the unwrap site.
+    let bad = "pub fn on_access(x: Option<u8>) -> u8 { helper(x) }\n\
+               fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(
+        active(
+            &[("crates/core/src/policies/pom.rs", bad)],
+            "panic_reachability"
+        ),
+        1
+    );
+    let allowed = "pub fn on_access(x: Option<u8>) -> u8 { helper(x) }\n\
+                   fn helper(x: Option<u8>) -> u8 {\n\
+                   // profess: allow(panic_reachability): caller checked is_some\n\
+                   x.unwrap()\n}\n";
+    assert_eq!(
+        active(
+            &[("crates/core/src/policies/pom.rs", allowed)],
+            "panic_reachability"
+        ),
+        0
+    );
+    // The same unwrap in a crate no entry point reaches is out of scope.
+    assert_eq!(
+        active(&[("crates/metrics/src/x.rs", bad)], "panic_reachability"),
+        0
+    );
+}
+
+#[test]
+fn determinism_taint_positive_and_suppressed() {
+    // An env read flowing into an artifact writer through a caller is
+    // flagged at the source site.
+    let bad = "fn knob() -> String { std::env::var(\"X\").unwrap_or_default() }\n\
+               pub fn write_rows_artifact(p: &str) { let v = knob(); std::fs::write(p, v).ok(); }\n";
+    assert_eq!(
+        active(&[("crates/bench/src/x.rs", bad)], "determinism_taint"),
+        1
+    );
+    let allowed = "fn knob() -> String {\n\
+                   // profess: allow(determinism_taint): knob shapes sample count, not rows\n\
+                   std::env::var(\"X\").unwrap_or_default()\n}\n\
+                   pub fn write_rows_artifact(p: &str) { let v = knob(); std::fs::write(p, v).ok(); }\n";
+    assert_eq!(
+        active(&[("crates/bench/src/x.rs", allowed)], "determinism_taint"),
+        0
+    );
+    // The sanctioned config layer is exempt by name.
+    let sanctioned = "pub fn threads_from_env() -> String { std::env::var(\"X\").unwrap_or_default() }\n\
+                      pub fn write_rows_artifact(p: &str) { let v = threads_from_env(); std::fs::write(p, v).ok(); }\n";
+    assert_eq!(
+        active(
+            &[("crates/bench/src/x.rs", sanctioned)],
+            "determinism_taint"
+        ),
+        0
+    );
+}
+
+#[test]
+fn dead_item_and_stale_allow_are_warnings_not_gates() {
+    let files = [(
+        "crates/mem/src/x.rs",
+        "pub fn orphan() {}\n\
+         // profess: allow(panic): suppresses nothing here\n\
+         pub fn also_orphan() { orphan(); }\n",
+    )];
+    let a = analyze(&ws(&files));
+    let warns: Vec<&str> = a.active_warnings().map(|d| d.lint).collect();
+    assert!(warns.contains(&"dead_item"), "{warns:?}");
+    assert!(warns.contains(&"stale_allow"), "{warns:?}");
+    // Warnings alone never fail analyze mode.
+    assert!(a.is_clean(), "warnings must not gate");
+    assert_eq!(a.active_errors().count(), 0);
+}
+
+/// Gate mode end-to-end: matching baseline passes, an injected
+/// diagnostic fails with exit 2, a missing baseline is an infra error.
+#[test]
+fn gate_binary_diffs_against_baseline() {
+    use std::fs;
+    use std::process::Command;
+
+    let bin = env!("CARGO_BIN_EXE_profess-analyze");
+    let root = std::env::temp_dir().join(format!("profess-analyzegate-e2e-{}", std::process::id()));
+    let src = root.join("crates/core/src");
+    fs::create_dir_all(&src).expect("mkdir fixture");
+    fs::write(root.join("Cargo.lock"), "version = 4\n").expect("lockfile");
+    fs::write(src.join("x.rs"), "use std::collections::BTreeMap;\n").expect("fixture");
+
+    // No baseline yet: infra error, not a diff verdict.
+    let out = Command::new(bin)
+        .args(["gate"])
+        .arg(&root)
+        .output()
+        .expect("run gate");
+    assert_eq!(out.status.code(), Some(1), "missing baseline is exit 1");
+
+    // Write the baseline, then a no-change run passes.
+    let out = Command::new(bin)
+        .args(["gate", "--write-baseline"])
+        .arg(&root)
+        .output()
+        .expect("write baseline");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(root.join("results/ANALYZE.json").is_file());
+    let out = Command::new(bin)
+        .args(["gate"])
+        .arg(&root)
+        .output()
+        .expect("run gate");
+    assert_eq!(out.status.code(), Some(0), "clean diff passes");
+
+    // Inject a violation: the gate must fail with exit 2 — even though
+    // the new diagnostic is *suppressed* (new allows are reviewed too).
+    fs::write(
+        src.join("x.rs"),
+        "// profess: allow(hash_collections): injected\nuse std::collections::HashMap;\n",
+    )
+    .expect("fixture");
+    let out = Command::new(bin)
+        .args(["gate"])
+        .arg(&root)
+        .output()
+        .expect("run gate");
+    assert_eq!(out.status.code(), Some(2), "new suppressed diag fails");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NEW"), "{stdout}");
+
+    // Fixing it again reports the baseline as resolvable, still exit 0.
+    fs::write(src.join("x.rs"), "use std::collections::BTreeMap;\n").expect("fixture");
+    let out = Command::new(bin)
+        .args(["gate"])
+        .arg(&root)
+        .output()
+        .expect("run gate");
+    assert_eq!(out.status.code(), Some(0));
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn list_lints_matches_registry_shape() {
+    use std::process::Command;
+    let bin = env!("CARGO_BIN_EXE_profess-analyze");
+    let out = Command::new(bin)
+        .arg("--list-lints")
+        .output()
+        .expect("run --list-lints");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), lints::REGISTRY.len());
+    for (line, info) in lines.iter().zip(lints::REGISTRY) {
+        let mut cols = line.split('|');
+        assert_eq!(cols.next(), Some(info.name));
+        let level = cols.next().expect("level column");
+        assert!(level == "error" || level == "warn", "{line}");
+        let sup = cols.next().expect("suppressible column");
+        assert!(sup == "yes" || sup == "no", "{line}");
+    }
 }
 
 #[test]

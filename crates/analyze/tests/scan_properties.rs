@@ -1,0 +1,250 @@
+//! Property tests of the token scanner (DESIGN.md §14.3): random
+//! interleavings of the constructs the scanner exists to classify —
+//! raw strings, nested block comments, char literals vs. lifetimes,
+//! `r#ident`s, suppression comments — checked against the invariants
+//! every lint depends on. Historical failures replay from
+//! `tests/scan_properties.proptest-regressions` before novel cases.
+
+use profess_analyze::scan::{scan, Tok};
+use profess_check::strategy::{u8_range, vec_of};
+use profess_check::{check_with, prop_assert, prop_assert_eq, Config};
+
+/// One line-shaped snippet with known-visible and known-hidden names.
+///
+/// `vis`: identifiers the scanner MUST report, with the line offset
+/// (within the snippet) they sit on. `strs`: string-literal contents it
+/// must report. Every name starting with `hid_` anywhere in the snippet
+/// sits inside a comment or literal and must NEVER surface as an
+/// identifier. `sup` marks the suppression-comment snippet.
+struct Snippet {
+    text: &'static str,
+    vis: &'static [(&'static str, u32)],
+    strs: &'static [&'static str],
+    sup: bool,
+}
+
+const SNIPPETS: &[Snippet] = &[
+    Snippet {
+        text: "let vis_plain = 1;",
+        vis: &[("vis_plain", 0)],
+        strs: &[],
+        sup: false,
+    },
+    Snippet {
+        text: "/* hid_block */ vis_after_block",
+        vis: &[("vis_after_block", 0)],
+        strs: &[],
+        sup: false,
+    },
+    Snippet {
+        text: "/* a /* hid_nest */ hid_nest2 */ vis_after_nest",
+        vis: &[("vis_after_nest", 0)],
+        strs: &[],
+        sup: false,
+    },
+    Snippet {
+        text: "// hid_line in a line comment",
+        vis: &[],
+        strs: &[],
+        sup: false,
+    },
+    Snippet {
+        text: "let s1 = \"hid_str\"; vis_after_str",
+        vis: &[("vis_after_str", 0)],
+        strs: &["hid_str"],
+        sup: false,
+    },
+    Snippet {
+        text: "let s2 = r\"hid_raw // hid_raw2\"; vis_after_raw",
+        vis: &[("vis_after_raw", 0)],
+        strs: &["hid_raw // hid_raw2"],
+        sup: false,
+    },
+    Snippet {
+        text: "let s3 = r#\"hid_rh \"q\" /* hid_rh2 */\"#; vis_after_rh",
+        vis: &[("vis_after_rh", 0)],
+        strs: &["hid_rh \"q\" /* hid_rh2 */"],
+        sup: false,
+    },
+    Snippet {
+        text: "let c = 'x'; vis_after_char",
+        vis: &[("vis_after_char", 0)],
+        strs: &[],
+        sup: false,
+    },
+    Snippet {
+        text: "let c2 = '\\''; vis_after_esc",
+        vis: &[("vis_after_esc", 0)],
+        strs: &[],
+        sup: false,
+    },
+    Snippet {
+        text: "fn vis_lt_fn<'lt>(x: &'lt str) {}",
+        vis: &[("vis_lt_fn", 0), ("str", 0)],
+        strs: &[],
+        sup: false,
+    },
+    Snippet {
+        text: "let r#match = vis_after_rawid;",
+        vis: &[("match", 0), ("vis_after_rawid", 0)],
+        strs: &[],
+        sup: false,
+    },
+    Snippet {
+        text: "// profess: allow(prop_lint): prop reason\nvis_after_sup",
+        vis: &[("vis_after_sup", 1)],
+        strs: &[],
+        sup: true,
+    },
+    Snippet {
+        text: "let m = r\"one\nhid_ml\ntwo\"; vis_after_ml",
+        vis: &[("vis_after_ml", 2)],
+        strs: &["one\nhid_ml\ntwo"],
+        sup: false,
+    },
+    Snippet {
+        text: "/* x /* y\nhid_mlc\n*/ z\n*/ vis_after_mlc",
+        vis: &[("vis_after_mlc", 3)],
+        strs: &[],
+        sup: false,
+    },
+];
+
+fn corpus() -> Vec<u64> {
+    let corpus =
+        profess_check::corpus_from_proptest_file("tests/scan_properties.proptest-regressions");
+    assert!(!corpus.is_empty(), "regression corpus went missing");
+    corpus
+}
+
+fn cases() -> Config {
+    Config {
+        cases: 128,
+        ..Config::default()
+    }
+}
+
+/// Any interleaving of the tricky constructs scans to exactly the
+/// visible identifiers at exactly the right lines; nothing inside a
+/// comment or literal ever surfaces; string contents round-trip; and
+/// suppression comments bind to their own line with the parsed reason.
+#[test]
+fn interleavings_classify_every_construct() {
+    check_with(
+        &cases(),
+        &corpus(),
+        "interleavings_classify_every_construct",
+        vec_of(u8_range(0..SNIPPETS.len() as u8), 0..12),
+        |choices| {
+            let chosen: Vec<&Snippet> = choices.iter().map(|&i| &SNIPPETS[i as usize]).collect();
+            let text: String = chosen.iter().map(|s| s.text).collect::<Vec<_>>().join("\n");
+            let s = scan(&text);
+
+            // Expected (ident, line) pairs, from each snippet's start line.
+            let mut line = 1u32;
+            let mut expected_idents: Vec<(&str, u32)> = Vec::new();
+            let mut expected_strs: Vec<&str> = Vec::new();
+            let mut expected_sups: Vec<u32> = Vec::new();
+            for sn in &chosen {
+                for &(name, off) in sn.vis {
+                    expected_idents.push((name, line + off));
+                }
+                expected_strs.extend(sn.strs);
+                if sn.sup {
+                    expected_sups.push(line);
+                }
+                line += sn.text.matches('\n').count() as u32 + 1;
+            }
+            let total_lines = line - 1;
+
+            for &(name, at) in &expected_idents {
+                let found = s
+                    .tokens
+                    .iter()
+                    .filter(|t| t.tok == Tok::Ident(name.to_string()) && t.line == at)
+                    .count();
+                prop_assert_eq!(found, 1);
+            }
+            for t in &s.tokens {
+                if let Tok::Ident(w) = &t.tok {
+                    prop_assert!(
+                        !w.starts_with("hid_"),
+                        "comment/literal contents leaked: `{w}` at line {}",
+                        t.line
+                    );
+                }
+            }
+            let mut got_strs: Vec<&str> = s
+                .tokens
+                .iter()
+                .filter_map(|t| match &t.tok {
+                    Tok::Str(v) => Some(v.as_str()),
+                    _ => None,
+                })
+                .collect();
+            got_strs.sort_unstable();
+            expected_strs.sort_unstable();
+            prop_assert_eq!(got_strs, expected_strs);
+
+            prop_assert_eq!(s.suppressions.len(), expected_sups.len());
+            for &at in &expected_sups {
+                let sup = s
+                    .suppressions
+                    .iter()
+                    .find(|p| p.line == at)
+                    .ok_or_else(|| format!("no suppression on line {at}"))?;
+                prop_assert_eq!(sup.lint.as_str(), "prop_lint");
+                prop_assert_eq!(sup.reason.as_str(), "prop reason");
+                prop_assert!(s.is_suppressed("prop_lint", at + 1));
+            }
+
+            // Token lines are monotone and in range.
+            let mut prev = 1u32;
+            for t in &s.tokens {
+                prop_assert!(t.line >= prev && t.line <= total_lines.max(1));
+                prev = t.line;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The scanner is total on arbitrary printable input: it terminates,
+/// and token lines stay monotone and bounded by the real line count.
+/// (Unterminated strings, lone quotes, stray `r#`s — none may panic or
+/// run the cursor past the end.)
+#[test]
+fn arbitrary_soup_scans_totally() {
+    check_with(
+        &cases(),
+        &corpus(),
+        "arbitrary_soup_scans_totally",
+        vec_of(u8_range(9..127), 0..64),
+        |bytes| {
+            // Map 9..32 onto structural bytes that stress the scanner.
+            let text: String = bytes
+                .iter()
+                .map(|&b| match b {
+                    9 => '\n',
+                    10 => '"',
+                    11 => '\'',
+                    12 => '/',
+                    13 => '*',
+                    14 => 'r',
+                    15 => '#',
+                    16 => '\\',
+                    17..=31 => ' ',
+                    b => b as char,
+                })
+                .collect();
+            let s = scan(&text);
+            let total_lines = text.matches('\n').count() as u32 + 1;
+            let mut prev = 1u32;
+            for t in &s.tokens {
+                prop_assert!(t.line >= prev && t.line <= total_lines);
+                prev = t.line;
+            }
+            Ok(())
+        },
+    );
+}

@@ -196,6 +196,7 @@ pub fn sweep_args(default_target: u64) -> (u64, Vec<Workload>) {
         .skip(1)
         .filter(|a| !a.starts_with('-'))
         .collect();
+    // profess: allow(determinism_taint): target override is config echoed into the checkpoint fingerprint; resumed runs see identical values
     let env_target = || match std::env::var("PROFESS_TARGET") {
         Ok(v) => match v.parse() {
             Ok(t) => t,
@@ -397,6 +398,7 @@ impl SoloCache {
     /// Each solo run is independent and internally deterministic, so the
     /// cache ends up with exactly the values serial on-demand filling
     /// would produce.
+    // profess: allow(dead_item): public batch pre-warm API; the documented serial-equivalent entry point for external sweeps
     pub fn warm(
         &mut self,
         pool: &Pool,
@@ -450,6 +452,7 @@ pub struct NormalizedRow {
 /// Simulations run on a [`Pool`] sized from `PROFESS_THREADS` (default:
 /// available parallelism); the result is byte-identical to a serial
 /// sweep regardless of the thread count.
+// profess: allow(dead_item): documented convenience wrapper over `normalized_sweep_on`; CI drives the supervised variant
 pub fn normalized_sweep(
     cfg: &SystemConfig,
     policy: PolicyKind,
@@ -847,10 +850,10 @@ pub fn normalized_sweep_supervised(
     }
 
     // Row assembly from the cell values alone.
-    let mut solo_map: std::collections::HashMap<(&'static str, SpecProgram), f64> =
-        std::collections::HashMap::new();
-    let mut multi_map: std::collections::HashMap<(usize, &'static str), &MultiCell> =
-        std::collections::HashMap::new();
+    let mut solo_map: std::collections::BTreeMap<(&'static str, SpecProgram), f64> =
+        std::collections::BTreeMap::new();
+    let mut multi_map: std::collections::BTreeMap<(usize, &'static str), &MultiCell> =
+        std::collections::BTreeMap::new();
     for (s, v) in specs.iter().zip(&values) {
         match (s.kind, v) {
             (CellKind::Solo(pk, p), Some(CellValue::Solo(ipc))) => {
@@ -901,25 +904,6 @@ pub fn normalized_sweep_supervised(
         resumed,
         skipped_malformed: journal.rejected(),
     }
-}
-
-/// Number of simulations a [`normalized_sweep_on`] call launches for
-/// `policies = [PoM, policy]` over `workloads`: the deduplicated solo
-/// warming runs plus two multiprogram runs per workload. Used by the
-/// figure binaries as the `sim_ops` count of their `BENCH_*.json`
-/// artifact.
-pub fn sweep_sim_count(policies: &[PolicyKind], workloads: &[Workload]) -> u64 {
-    let mut solo: Vec<(&'static str, SpecProgram)> = Vec::new();
-    for &pk in policies {
-        for w in workloads {
-            for p in w.programs {
-                if !solo.contains(&(pk.name(), p)) {
-                    solo.push((pk.name(), p));
-                }
-            }
-        }
-    }
-    solo.len() as u64 + 2 * workloads.len() as u64
 }
 
 /// Serializes sweep rows to a canonical JSON string (used to assert that

@@ -108,6 +108,7 @@ impl ProfessPolicy {
     }
 
     /// Mutable access to the RSM (to enable sample recording).
+    // profess: allow(dead_item): mutable counterpart of `rsm()` for the Table 4 sampling study; kept for accessor symmetry
     pub fn rsm_mut(&mut self) -> &mut Rsm {
         &mut self.rsm
     }
@@ -148,6 +149,7 @@ impl MigrationPolicy for ProfessPolicy {
         self.mdm.params().write_weight
     }
 
+    // profess: allow(panic_reachability): group/core ids bounded by geometry fixed at construction
     fn on_access(&mut self, ctx: &mut AccessCtx<'_>) -> Decision {
         if ctx.actual_slot.is_m1() {
             return Decision::Stay;
@@ -277,6 +279,7 @@ impl MigrationPolicy for ProfessPolicy {
         ]))
     }
 
+    // profess: allow(panic_reachability): restore validates section lengths against the config fingerprint before indexing
     fn restore_state(&mut self, state: &Json) -> Result<(), String> {
         self.mdm.restore_json(
             state

@@ -90,6 +90,7 @@ impl MigrationPolicy for SilcFmPolicy {
         "SILC-FM"
     }
 
+    // profess: allow(panic_reachability): group ids bounded by geometry fixed at construction
     fn on_access(&mut self, ctx: &mut AccessCtx<'_>) -> Decision {
         if ctx.actual_slot.is_m1() {
             // Feed the aging counter of the resident block.
@@ -111,7 +112,7 @@ impl MigrationPolicy for SilcFmPolicy {
             // The incoming block replaces the tracked M1 resident; its
             // aging count restarts.
             let ok = self.aging.set(ctx.group.0, 0);
-            // profess: allow(panic): hot-path keys are geometry-bounded
+            // Hot-path keys are geometry-bounded, so the set cannot miss.
             assert!(ok, "SILC-FM aging key out of range");
             Decision::Promote
         }
@@ -142,6 +143,7 @@ impl MigrationPolicy for SilcFmPolicy {
         ]))
     }
 
+    // profess: allow(panic_reachability): restore validates section lengths against the config fingerprint before indexing
     fn restore_state(&mut self, state: &Json) -> Result<(), String> {
         let mut aging = FlatCounters::new();
         for pair in get_arr(state, "aging")? {

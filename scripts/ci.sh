@@ -27,8 +27,41 @@ cargo test -q --workspace --offline
 echo "==> profess-analyze (static analysis gate)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
-cargo run --release --offline -q -p profess-analyze -- --json "$smoke_dir/ANALYZE.json"
+PROFESS_RESULTS_DIR="$smoke_dir" \
+    cargo run --release --offline -q -p profess-analyze -- --json "$smoke_dir/ANALYZE.json"
 test -s "$smoke_dir/ANALYZE.json"
+test -s "$smoke_dir/ANALYZE_PERF.json"  # wall time + per-lint counts
+
+# Lint-table cross-check: the DESIGN.md §9.1 table must spell exactly
+# the lints the binary ships, with matching level and suppressibility.
+# (`doc_sync` checks the table against the in-process registry; this
+# check closes the loop against the *built* binary's --list-lints.)
+echo "==> lint table vs --list-lints"
+cargo run --release --offline -q -p profess-analyze -- --list-lints \
+    > "$smoke_dir/lints.actual"
+awk '/^### 9\.1 The lints$/{f=1;next} f&&/^#/{exit} f&&/^\| `/' DESIGN.md \
+    | awk -F'|' '{name=$2; level=$3; sup=$4;
+                  gsub(/[` ]/,"",name); gsub(/ /,"",level); gsub(/ /,"",sup);
+                  print name "|" level "|" sup}' \
+    > "$smoke_dir/lints.documented"
+diff -u "$smoke_dir/lints.documented" "$smoke_dir/lints.actual"
+
+# Analysis baseline gate (DESIGN.md §14.2): first prove the gate itself
+# on the committed fixture tree — the stale baseline (written before the
+# fixture's HashMap regression) MUST fail with exit 2 and the matching
+# baseline must pass — then gate the fresh analysis against the
+# committed results/ANALYZE.json review record.
+echo "==> analysis baseline gate (analyzegate: fixture self-check + repo baseline)"
+analyze_fixtures="crates/analyze/tests/fixtures/analyzegate"
+rc=0
+cargo run --release --offline -q -p profess-analyze -- gate \
+    --baseline "$analyze_fixtures/baseline-stale/ANALYZE.json" \
+    "$analyze_fixtures/tree" > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 2  # a missed synthetic regression means the gate is dead
+cargo run --release --offline -q -p profess-analyze -- gate \
+    --baseline "$analyze_fixtures/baseline-ok/ANALYZE.json" \
+    "$analyze_fixtures/tree" > /dev/null
+cargo run --release --offline -q -p profess-analyze -- gate
 
 # Bench smoke: run one figure binary end to end with a tiny op budget so
 # the parallel sweep engine and the BENCH_<name>.json perf artifact path
@@ -149,6 +182,12 @@ PROFESS_RESULTS_DIR="$surf_dir" PROFESS_THREADS=2 \
 test -s "$surf_dir/SURFACE_surface.json"
 cargo run --release --offline -q -p profess-bench --bin surfacecheck -- \
     check "$surf_dir/SURFACE_surface.json"
+# Committed-golden gate: this exact 2x2 config is pinned byte-for-byte
+# by results/SURFACE_ci.json — any drift in the characterization
+# numbers is a simulator behaviour change and must be a reviewed
+# refresh of the committed artifact, never an accident.
+cargo run --release --offline -q -p profess-bench --bin surfacecheck -- \
+    diff results/SURFACE_ci.json "$surf_dir/SURFACE_surface.json"
 mv "$surf_dir/SURFACE_surface.json" "$surf_dir/SURFACE_golden.json"
 rc=0
 PROFESS_RESULTS_DIR="$surf_dir" PROFESS_CHECKPOINT="$surf_dir" \
