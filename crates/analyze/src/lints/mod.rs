@@ -72,6 +72,11 @@ pub const REGISTRY: &[LintInfo] = &[
         suppressible: true,
     },
     LintInfo {
+        name: code::PROCESS_SPAWN,
+        level: Level::Error,
+        suppressible: true,
+    },
+    LintInfo {
         name: code::PANIC,
         level: Level::Error,
         suppressible: true,
@@ -143,6 +148,7 @@ pub const ALL_LINTS: &[&str] = &[
     code::HASH_COLLECTIONS,
     code::WALL_CLOCK,
     code::THREAD_SPAWN,
+    code::PROCESS_SPAWN,
     code::PANIC,
     code::UNSAFE_CODE,
     code::HOT_PATH_MAP,

@@ -246,6 +246,7 @@ fn lint_list_is_complete() {
         "hash_collections",
         "wall_clock",
         "thread_spawn",
+        "process_spawn",
         "panic",
         "unsafe_code",
         "hot_path_map",
@@ -262,7 +263,7 @@ fn lint_list_is_complete() {
     ] {
         assert!(lints::ALL_LINTS.contains(&lint), "{lint} not registered");
     }
-    assert_eq!(lints::ALL_LINTS.len(), 16);
+    assert_eq!(lints::ALL_LINTS.len(), 17);
 }
 
 #[test]

@@ -22,13 +22,14 @@
 //! throughput fields are never gated — they depend on sample counts and
 //! machine load, not simulator speed.
 //!
-//! Exit codes:
+//! Exit codes (the shared [`profess_bench::exit`] taxonomy):
 //! * `0` — every compared entry within threshold (or nothing to compare);
-//! * `1` — usage, I/O or parse error;
-//! * `2` — at least one entry regressed.
+//! * `1` — at least one entry regressed, or an I/O or parse error;
+//! * `2` — usage error.
 
 use std::path::{Path, PathBuf};
 
+use profess_bench::exit;
 use profess_metrics::Json;
 
 /// Regression threshold: fail when fresh > baseline * (1 + 15/100) on
@@ -183,7 +184,7 @@ fn main() {
                 Some(d) => baseline = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("benchgate: --baseline requires a directory");
-                    std::process::exit(1);
+                    std::process::exit(exit::USAGE);
                 }
             }
         } else {
@@ -192,7 +193,7 @@ fn main() {
     }
     if files.is_empty() {
         eprintln!("usage: benchgate [--baseline <dir>] <BENCH_*.json>...");
-        std::process::exit(1);
+        std::process::exit(exit::USAGE);
     }
     let baseline = baseline
         .or_else(|| std::env::var_os("PROFESS_BENCH_BASELINE").map(PathBuf::from))
@@ -205,7 +206,7 @@ fn main() {
             Ok(r) => regressions.extend(r),
             Err(e) => {
                 eprintln!("benchgate: {e}");
-                std::process::exit(1);
+                std::process::exit(exit::VALIDATION_FAIL);
             }
         }
     }
@@ -222,7 +223,7 @@ fn main() {
     for r in &regressions {
         eprintln!("  {r}");
     }
-    std::process::exit(2);
+    std::process::exit(exit::VALIDATION_FAIL);
 }
 
 #[cfg(test)]

@@ -16,12 +16,20 @@
 //! the tolerant drop path exists so a torn write costs one rerun, not
 //! so decay passes silently through CI.
 //!
-//! Exits 0 with per-file diagnostics on success; exits 1 on the first
-//! invalid line or nonzero drop count.
+//! Journals are additionally checked for *conflicting duplicates*: two
+//! lines claiming the same cell key with different fingerprints (as a
+//! buggy shard merge could produce — see `profess-shard`). The tolerant
+//! loader would silently let the later line win; here both offending
+//! lines are reported and the check fails.
+//!
+//! Exits 0 with per-file diagnostics on success; exits 1 (the shared
+//! [`profess_bench::exit`] taxonomy's validation failure) on the first
+//! invalid line, conflicting duplicate, or nonzero drop count.
 //!
 //! [`Journal::load`]: profess_bench::Journal::load
 
-use profess_bench::checkpoint::validate_file;
+use profess_bench::checkpoint::{key_conflicts, validate_file};
+use profess_bench::exit;
 use profess_metrics::Json;
 
 /// Checks a `BENCH_*.json` artifact: parses, requires the `bench` key,
@@ -52,7 +60,7 @@ fn main() {
     let files: Vec<String> = std::env::args().skip(1).collect();
     if files.is_empty() {
         eprintln!("usage: checkpointcheck <journal.jsonl | BENCH_*.json>...");
-        std::process::exit(2);
+        std::process::exit(exit::USAGE);
     }
     let mut total = 0usize;
     for f in &files {
@@ -61,19 +69,37 @@ fn main() {
                 Ok(_) => println!("{f}: ok (no malformed lines dropped)"),
                 Err(e) => {
                     eprintln!("checkpointcheck: {e}");
-                    std::process::exit(1);
+                    std::process::exit(exit::VALIDATION_FAIL);
                 }
             }
             continue;
         }
-        match validate_file(std::path::Path::new(f)) {
+        let path = std::path::Path::new(f);
+        match validate_file(path) {
             Ok(cells) => {
                 println!("{f}: ok ({cells} cells)");
                 total += cells;
             }
             Err(e) => {
                 eprintln!("checkpointcheck: {e}");
-                std::process::exit(1);
+                std::process::exit(exit::VALIDATION_FAIL);
+            }
+        }
+        // A journal whose every line validates can still be wrong as a
+        // *record*: two entries for one key with different fingerprints
+        // mean two different executions claimed the same cell (the
+        // tolerant loader would silently let the later one win).
+        match key_conflicts(path) {
+            Ok(conflicts) if conflicts.is_empty() => {}
+            Ok(conflicts) => {
+                for c in &conflicts {
+                    eprintln!("checkpointcheck: {f}: {c}");
+                }
+                std::process::exit(exit::VALIDATION_FAIL);
+            }
+            Err(e) => {
+                eprintln!("checkpointcheck: {e}");
+                std::process::exit(exit::VALIDATION_FAIL);
             }
         }
     }

@@ -1,0 +1,506 @@
+//! **profess-shard** — sharded multi-process sweep supervisor.
+//!
+//! Re-execs this binary as N worker *processes* and deals checkpoint
+//! cells to them over line-delimited JSON on stdin/stdout; each worker
+//! journals finished cells into its own shard journal
+//! (`CHECKPOINT_<name>.shard<k>.jsonl`). The supervisor watches
+//! per-worker deadlines, classifies deaths (abort, signal, timeout,
+//! protocol garbage), re-deals the in-flight cells of dead workers to
+//! survivors within the `PROFESS_RETRIES` budget, then merges the
+//! shard journals into the canonical `CHECKPOINT_<name>.jsonl` and
+//! finishes with an in-process sweep over the merged journal — which
+//! replays every completed cell, executes anything left over (the
+//! graceful-degradation path when workers die or cannot spawn), and
+//! emits the ordinary `ROWS_`/`SURFACE_`/`BENCH_` artifacts. The
+//! deterministic artifacts are byte-identical to a single-process run.
+//!
+//! ```text
+//! profess-shard [--trace] [--surface] [--workers N] [<target>] [<workload-id>|<policy>...]
+//! ```
+//!
+//! Without `--surface` the sweep is the `fig10_12` normalized sweep
+//! (MDM vs PoM on the scaled quad-core config); with it, the `surface`
+//! characterization (axes from `PROFESS_SURFACE_RATIOS` /
+//! `PROFESS_SURFACE_INTENSITIES`). `--workers 0` skips the worker
+//! phase entirely — a fully in-process run, useful for generating
+//! golden artifacts to diff sharded runs against. `PROFESS_FAULT`
+//! accepts the process-level kinds `worker_kill@k[*n]` /
+//! `worker_hang@k[*n]` (fire when worker `k` starts its `n`-th dealt
+//! cell) alongside the task-level `panic`/`stall`/`exit` kinds, which
+//! are forwarded to the workers. In a worker, each dealt cell is its
+//! own single-slot supervision batch, so task-fault entries only fire
+//! at index `@0`.
+//!
+//! Exit codes follow the shared [`profess_bench::exit`] taxonomy;
+//! losing a cell past its re-deal budget exits
+//! [`profess_bench::exit::WORKER_LOST`].
+//!
+//! The internal worker mode (`--worker <k> --dir <dir>`, spawned by
+//! the supervisor, never by hand) speaks the protocol on stdout
+//! exclusively; diagnostics go to stderr.
+
+use std::io::BufRead;
+use std::path::PathBuf;
+
+use profess_bench::harness::{results_dir, BenchJson, TraceCollector};
+use profess_bench::shard::{
+    main_journal_path, merge_shards, run_sharded, shard_journal_path, Frame, ShardPlan,
+};
+use profess_bench::surface::{
+    axis_from_env, parse_policy, policy_cli_name, run_surface_cell, surface_cell_keys,
+    surface_sweep, surface_to_json, write_surface_artifact, SurfaceSpec, DEFAULT_INTENSITIES,
+    DEFAULT_POLICIES, DEFAULT_READ_FRACS, DEFAULT_TARGET_OPS, INTENSITIES_ENV, POLICY_NAMES,
+    RATIOS_ENV,
+};
+use profess_bench::{
+    checkpoint, exit, init_trace_flag, normalized_cell_keys, normalized_sweep_supervised,
+    report_sweep_health, run_normalized_cell, workload_or_usage, Journal, Pool, SnapshotMode,
+    SuperviseConfig, MULTI_TARGET_MISSES,
+};
+use profess_bench::{usage_error, write_rows_artifact};
+use profess_core::errors::SimError;
+use profess_core::system::PolicyKind;
+use profess_par::{worker_fault, ProcessFaultPlan, ShardSupervision, FAULT_ENV, SHARD_FAULT_ENV};
+use profess_trace::workload::Workload;
+use profess_types::SystemConfig;
+
+/// Parsed command line.
+#[derive(Debug, Default)]
+struct Args {
+    surface: bool,
+    workers: Option<usize>,
+    worker: Option<usize>,
+    dir: Option<PathBuf>,
+    positional: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next()
+            .unwrap_or_else(|| usage_error(&format!("{flag} requires a value")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--surface" => args.surface = true,
+            "--trace" => {}
+            "--workers" => {
+                let v = value(&mut it, "--workers");
+                args.workers = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_error(&format!("bad --workers `{v}`"))),
+                );
+            }
+            "--worker" => {
+                let v = value(&mut it, "--worker");
+                args.worker = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage_error(&format!("bad --worker `{v}`"))),
+                );
+            }
+            "--dir" => args.dir = Some(PathBuf::from(value(&mut it, "--dir"))),
+            s if s.starts_with('-') => usage_error(&format!("unknown flag `{s}`")),
+            s => args.positional.push(s.to_string()),
+        }
+    }
+    args
+}
+
+/// Which sweep is being sharded. Supervisor and workers derive this
+/// identically from the same positionals + environment, so both sides
+/// agree on every cell key.
+#[derive(Debug)]
+enum Mode {
+    Normalized {
+        target: u64,
+        ids: Vec<String>,
+        workloads: Vec<Workload>,
+    },
+    Surface {
+        spec: SurfaceSpec,
+    },
+}
+
+/// Replicates `sweep_args`' `PROFESS_TARGET` fallback.
+fn target_from_env(default: u64) -> u64 {
+    match std::env::var("PROFESS_TARGET") {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            usage_error(&format!(
+                "memory-operation target PROFESS_TARGET `{v}` is not an unsigned integer"
+            ))
+        }),
+        Err(_) => default,
+    }
+}
+
+impl Mode {
+    fn from(args: &Args) -> Mode {
+        let rest = &args.positional;
+        if args.surface {
+            let (target_ops, names): (u64, &[String]) = match rest.split_first() {
+                Some((first, tail)) => match first.parse::<u64>() {
+                    Ok(t) => (t, tail),
+                    Err(_) => (DEFAULT_TARGET_OPS, &rest[..]),
+                },
+                None => (DEFAULT_TARGET_OPS, &rest[..]),
+            };
+            let policies = if names.is_empty() {
+                DEFAULT_POLICIES.to_vec()
+            } else {
+                names
+                    .iter()
+                    .map(|n| {
+                        parse_policy(n).unwrap_or_else(|| {
+                            let known: Vec<&str> = POLICY_NAMES.iter().map(|(n, _)| *n).collect();
+                            usage_error(&format!(
+                                "unknown policy `{n}` (known: {})",
+                                known.join(" ")
+                            ))
+                        })
+                    })
+                    .collect()
+            };
+            let mut spec = SurfaceSpec::new(policies);
+            spec.target_ops = target_ops;
+            spec.read_fracs =
+                axis_from_env(RATIOS_ENV, &DEFAULT_READ_FRACS).unwrap_or_else(|e| usage_error(&e));
+            spec.intensities = axis_from_env(INTENSITIES_ENV, &DEFAULT_INTENSITIES)
+                .unwrap_or_else(|e| usage_error(&e));
+            if let Err(e) = spec.validate() {
+                usage_error(&e);
+            }
+            Mode::Surface { spec }
+        } else {
+            let (target, ids): (u64, Vec<String>) = match rest.split_first() {
+                Some((first, tail)) => match first.parse::<u64>() {
+                    Ok(t) => (t, tail.to_vec()),
+                    Err(_) => (target_from_env(MULTI_TARGET_MISSES), rest.clone()),
+                },
+                None => (target_from_env(MULTI_TARGET_MISSES), rest.clone()),
+            };
+            let workloads = if ids.is_empty() {
+                profess_trace::workloads().to_vec()
+            } else {
+                ids.iter().map(|id| workload_or_usage(id)).collect()
+            };
+            Mode::Normalized {
+                target,
+                ids,
+                workloads,
+            }
+        }
+    }
+
+    /// The artifact name — also names the journals.
+    fn name(&self) -> &'static str {
+        match self {
+            Mode::Normalized { .. } => "fig10_12",
+            Mode::Surface { .. } => "surface",
+        }
+    }
+
+    /// Every cell key, in canonical spec order.
+    fn keys(&self, cfg: &SystemConfig) -> Vec<String> {
+        match self {
+            Mode::Normalized {
+                target, workloads, ..
+            } => normalized_cell_keys(cfg, PolicyKind::Mdm, *target, workloads),
+            Mode::Surface { spec } => surface_cell_keys(cfg, spec),
+        }
+    }
+
+    /// Runs one cell by key (the worker's unit of work).
+    fn run_cell(
+        &self,
+        cfg: &SystemConfig,
+        sup: &SuperviseConfig,
+        journal: &Journal,
+        key: &str,
+    ) -> Result<bool, String> {
+        match self {
+            Mode::Normalized {
+                target, workloads, ..
+            } => run_normalized_cell(cfg, PolicyKind::Mdm, *target, workloads, sup, journal, key),
+            Mode::Surface { spec } => run_surface_cell(cfg, spec, sup, journal, key),
+        }
+    }
+
+    /// The positional spec a worker needs to re-derive this mode
+    /// (resolved target first, so `PROFESS_TARGET` ambiguity is gone).
+    fn worker_positionals(&self) -> Vec<String> {
+        match self {
+            Mode::Normalized { target, ids, .. } => {
+                let mut p = vec![target.to_string()];
+                p.extend(ids.iter().cloned());
+                p
+            }
+            Mode::Surface { spec } => {
+                let mut p = vec![spec.target_ops.to_string()];
+                p.extend(spec.policies.iter().map(|&pk| {
+                    policy_cli_name(pk)
+                        .unwrap_or_else(|| usage_error(&format!("policy {pk:?} has no CLI name")))
+                        .to_string()
+                }));
+                p
+            }
+        }
+    }
+}
+
+/// The journal directory: an explicit `PROFESS_CHECKPOINT` path wins,
+/// anything else (unset, `0`, `1`) means the results directory —
+/// sharded runs always journal; the merged journal *is* the product.
+fn journal_dir_from_env() -> PathBuf {
+    match std::env::var(checkpoint::CHECKPOINT_ENV) {
+        Ok(v) if !v.is_empty() && v != "0" && v != "1" => PathBuf::from(v),
+        _ => results_dir(),
+    }
+}
+
+/// The worker loop: handshake, then run each dealt cell and answer
+/// with `start`/`done` frames. Stdout carries frames exclusively. EOF
+/// on stdin means "no more cells" — exit 0.
+fn worker_main(args: &Args, k: usize) -> ! {
+    let Some(dir) = &args.dir else {
+        usage_error("--worker requires --dir");
+    };
+    let mode = Mode::from(args);
+    let cfg = SystemConfig::scaled_quad();
+    let path = shard_journal_path(dir, mode.name(), k);
+    let journal = match Journal::load(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("profess-shard worker {k}: {}: {e}", path.display());
+            std::process::exit(exit::VALIDATION_FAIL);
+        }
+    };
+    // The supervisor forwards only task-side fault entries in
+    // PROFESS_FAULT and the worker_* entries in PROFESS_SHARD_FAULT.
+    let sup = SuperviseConfig::from_env().unwrap_or_else(|e| usage_error(&e));
+    let faults = ProcessFaultPlan::from_env().unwrap_or_else(|e| usage_error(&e));
+    println!("{}", Frame::Hello { worker: k }.to_line());
+    let stdin = std::io::stdin();
+    let mut nth: u32 = 0;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("profess-shard worker {k}: stdin: {e}");
+                std::process::exit(exit::VALIDATION_FAIL);
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let key = match Frame::parse(&line) {
+            Ok(Frame::Cell { key }) => key,
+            Ok(other) => {
+                eprintln!("profess-shard worker {k}: unexpected frame {other:?}");
+                std::process::exit(exit::VALIDATION_FAIL);
+            }
+            Err(e) => {
+                eprintln!("profess-shard worker {k}: {e}");
+                std::process::exit(exit::VALIDATION_FAIL);
+            }
+        };
+        nth += 1;
+        println!("{}", Frame::Start { key: key.clone() }.to_line());
+        if let Some(kind) = faults.action(k, nth) {
+            eprintln!("profess-shard worker {k}: injected fault on cell {nth}");
+            worker_fault(kind);
+        }
+        let (ok, error) = match mode.run_cell(&cfg, &sup, &journal, &key) {
+            Ok(_ran) => (true, None),
+            Err(e) => (false, Some(e)),
+        };
+        println!("{}", Frame::Done { key, ok, error }.to_line());
+    }
+    std::process::exit(exit::OK);
+}
+
+fn main() {
+    init_trace_flag();
+    let args = parse_args();
+    if let Some(k) = args.worker {
+        worker_main(&args, k);
+    }
+    let mode = Mode::from(&args);
+    let name = mode.name();
+    let shard = ShardSupervision::from_env().unwrap_or_else(|e| usage_error(&e));
+    let cfg = SystemConfig::scaled_quad();
+    let keys = mode.keys(&cfg);
+    let dir = args.dir.clone().unwrap_or_else(journal_dir_from_env);
+    let main_path = main_journal_path(&dir, name);
+    let workers = args.workers.unwrap_or_else(profess_par::default_threads);
+
+    // Only cells absent from the merged journal get dealt.
+    let pending: Vec<String> = match Journal::load(&main_path) {
+        Ok(j) => keys
+            .iter()
+            .filter(|k| j.lookup(k).is_none())
+            .cloned()
+            .collect(),
+        Err(e) => {
+            eprintln!("profess-shard: {}: {e}", main_path.display());
+            std::process::exit(exit::VALIDATION_FAIL);
+        }
+    };
+
+    let mut lost: Option<(String, u32)> = None;
+    if workers > 0 && !pending.is_empty() {
+        let mut worker_args: Vec<String> = Vec::new();
+        if args.surface {
+            worker_args.push("--surface".to_string());
+        }
+        worker_args.push("--dir".to_string());
+        worker_args.push(dir.display().to_string());
+        worker_args.extend(mode.worker_positionals());
+        let plan = ShardPlan {
+            workers,
+            worker_args,
+            worker_envs: vec![
+                (FAULT_ENV.to_string(), shard.task_fault_spec.clone()),
+                (
+                    SHARD_FAULT_ENV.to_string(),
+                    shard.process_fault_spec.clone(),
+                ),
+            ],
+            deal_budget: shard.sup.retries + 1,
+            // Workers enforce the per-attempt timeout themselves; the
+            // supervisor's watchdog is the outer ring, so give it 2x.
+            deadline: shard.sup.timeout.map(|t| t * 2),
+        };
+        println!(
+            "sharding {} pending cell(s) across {} worker(s) into {}",
+            pending.len(),
+            plan.workers,
+            dir.display()
+        );
+        let outcome = run_sharded(&plan, &pending);
+        for (w, x) in &outcome.exits {
+            if !x.is_ok() {
+                eprintln!("profess-shard: worker {w} exited: {}", x.label());
+            }
+        }
+        for (key, err) in &outcome.failed {
+            eprintln!("profess-shard: cell `{key}` failed in a worker: {err}");
+        }
+        println!(
+            "worker phase: {} completed, {} failed, {} leftover",
+            outcome.finished.len(),
+            outcome.failed.len(),
+            outcome.leftover.len()
+        );
+        lost = outcome.lost;
+    }
+
+    // Merge before anything else — even a lost run keeps the cells its
+    // workers did finish, so a rerun resumes instead of restarting.
+    let shard_paths: Vec<PathBuf> = (0..workers)
+        .map(|k| shard_journal_path(&dir, name, k))
+        .collect();
+    match merge_shards(&main_path, &shard_paths, &keys) {
+        Ok(stats) => println!(
+            "merged journal: {} ({} cell(s), {} duplicate(s), {} foreign, {} dropped)",
+            main_path.display(),
+            stats.cells,
+            stats.duplicates,
+            stats.foreign,
+            stats.dropped
+        ),
+        Err(e) => {
+            eprintln!("profess-shard: merge: {e}");
+            std::process::exit(exit::VALIDATION_FAIL);
+        }
+    }
+    if let Some((cell, deals)) = lost {
+        let e = SimError::WorkerLost { cell, deals };
+        eprintln!("profess-shard: {e}");
+        std::process::exit(exit::WORKER_LOST);
+    }
+
+    // In-process finish over the merged journal: replays completed
+    // cells, executes any leftovers (graceful degradation), and emits
+    // the ordinary artifacts.
+    let journal = match Journal::load(&main_path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("profess-shard: {}: {e}", main_path.display());
+            std::process::exit(exit::VALIDATION_FAIL);
+        }
+    };
+    println!(
+        "checkpoint journal: {} ({} cells replayed, {} lines dropped)",
+        main_path.display(),
+        journal.loaded(),
+        journal.rejected()
+    );
+    let mut bench = BenchJson::start(name);
+    let mut traces = TraceCollector::from_env(name);
+    let ok = match &mode {
+        Mode::Normalized {
+            target, workloads, ..
+        } => {
+            let run = normalized_sweep_supervised(
+                &Pool::from_env(),
+                &cfg,
+                PolicyKind::Mdm,
+                *target,
+                workloads,
+                &shard.sup,
+                &journal,
+                &SnapshotMode::disabled(),
+                &mut traces,
+            );
+            bench.add_sim_ops(run.executed() as u64);
+            bench.push_cells(&run.cells);
+            bench.set_skipped_malformed(run.skipped_malformed as u64);
+            write_rows_artifact(name, &run.rows);
+            report_sweep_health(&run)
+        }
+        Mode::Surface { spec } => {
+            let run = surface_sweep(
+                &Pool::from_env(),
+                &cfg,
+                spec,
+                &shard.sup,
+                &journal,
+                &SnapshotMode::disabled(),
+                &mut traces,
+            );
+            bench.add_sim_ops(run.executed() as u64);
+            bench.push_cells(&run.cells);
+            bench.set_skipped_malformed(run.skipped_malformed as u64);
+            write_surface_artifact(name, &surface_to_json(name, spec, &run.points));
+            let ok = run.all_ok();
+            for c in run.failed_cells() {
+                eprintln!(
+                    "cell failed: {} [{}] after {} attempt(s): {}",
+                    c.label,
+                    c.status,
+                    c.attempts,
+                    c.error.as_deref().unwrap_or("unknown")
+                );
+            }
+            if !ok {
+                eprintln!("cells without results: {}", run.skipped.join(" "));
+            }
+            ok
+        }
+    };
+    traces.finish();
+    bench.finish();
+    drop(journal);
+
+    // The finish phase appended any freshly executed cells at the end
+    // of the merged file; re-merge (no shards) to restore spec order —
+    // this is what pins the journal byte-identical to a serial run.
+    if let Err(e) = merge_shards(&main_path, &[], &keys) {
+        eprintln!("profess-shard: merge: {e}");
+        std::process::exit(exit::VALIDATION_FAIL);
+    }
+    if !ok {
+        std::process::exit(exit::SWEEP_FAILURE);
+    }
+}

@@ -1,0 +1,86 @@
+//! **shardcheck** — validates a merged shard journal against the
+//! per-worker shard journals it was merged from.
+//!
+//! ```text
+//! shardcheck <merged.jsonl> [<shard.jsonl>...]
+//! ```
+//!
+//! Checks, in order:
+//!
+//! 1. The merged journal decodes strictly (codec + fingerprint) and
+//!    holds **exactly one line per cell key** — a re-dealt cell that
+//!    executed twice would appear as a duplicate key, so this is the
+//!    "re-dealt cells never execute twice" invariant.
+//! 2. Every decodable line of every shard journal appears
+//!    **byte-identically** in the merged journal: merging may reorder
+//!    and deduplicate, but never rewrite or drop a worker's completed
+//!    cell. Torn trailing lines (a worker killed mid-write) are
+//!    tolerated in shards and reported.
+//!
+//! Exit codes follow the shared [`profess_bench::exit`] taxonomy:
+//! `0` all invariants hold, `1` a violation or unreadable file, `2`
+//! usage.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use profess_bench::exit;
+use profess_bench::shard::{merged_lines, shard_lines};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((merged_path, shard_paths)) = args.split_first() else {
+        eprintln!("usage: shardcheck <merged.jsonl> [<shard.jsonl>...]");
+        return ExitCode::from(exit::USAGE as u8);
+    };
+    let merged = match merged_lines(Path::new(merged_path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("shardcheck: {e}");
+            return ExitCode::from(exit::VALIDATION_FAIL as u8);
+        }
+    };
+    println!(
+        "shardcheck: {merged_path}: {} cell(s), keys unique",
+        merged.len()
+    );
+
+    let mut bad = false;
+    for sp in shard_paths {
+        let (lines, dropped) = match shard_lines(Path::new(sp)) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("shardcheck: {e}");
+                bad = true;
+                continue;
+            }
+        };
+        let mut covered = 0usize;
+        for (key, line) in &lines {
+            // Snapshot entries are scratch state, never merged.
+            if key.starts_with("snapshot|") {
+                continue;
+            }
+            match merged.get(key) {
+                Some(m) if m == line => covered += 1,
+                Some(_) => {
+                    eprintln!("shardcheck: {sp}: cell `{key}` differs from the merged journal");
+                    bad = true;
+                }
+                None => {
+                    eprintln!("shardcheck: {sp}: cell `{key}` missing from the merged journal");
+                    bad = true;
+                }
+            }
+        }
+        println!(
+            "shardcheck: {sp}: {} line(s), {covered} covered, {dropped} torn",
+            lines.len()
+        );
+    }
+    if bad {
+        return ExitCode::from(exit::VALIDATION_FAIL as u8);
+    }
+    println!("shardcheck: merged journal covers every shard line");
+    ExitCode::SUCCESS
+}

@@ -26,7 +26,7 @@ use profess_bench::harness::{BenchJson, TraceCollector};
 use profess_bench::surface::{
     axis_from_env, parse_policy, surface_sweep, surface_to_json, write_surface_artifact,
     SurfaceSpec, DEFAULT_INTENSITIES, DEFAULT_POLICIES, DEFAULT_READ_FRACS, DEFAULT_TARGET_OPS,
-    POLICY_NAMES,
+    INTENSITIES_ENV, POLICY_NAMES, RATIOS_ENV,
 };
 use profess_bench::{
     init_trace_flag, journal_from_env, snapshot_mode_from_env, supervise_from_env, usage_error,
@@ -36,11 +36,6 @@ use profess_core::system::PolicyKind;
 use profess_metrics::table::TextTable;
 use profess_obs::Log2Histogram;
 use profess_types::SystemConfig;
-
-/// Environment variable overriding the read-fraction axis.
-const RATIOS_ENV: &str = "PROFESS_SURFACE_RATIOS";
-/// Environment variable overriding the intensity axis.
-const INTENSITIES_ENV: &str = "PROFESS_SURFACE_INTENSITIES";
 
 /// Parses `[--trace] [<target-ops>] [<policy>...]`.
 fn parse_args() -> (u64, Vec<PolicyKind>) {

@@ -24,6 +24,7 @@
 //!
 //! Exits 0 on success, 1 on a validation failure, 2 on usage errors.
 
+use profess_bench::exit;
 use profess_bench::surface::validate_surface;
 
 /// Default relative tolerance for the latency-monotonicity check.
@@ -32,7 +33,7 @@ const DEFAULT_MONO_TOL: f64 = 0.05;
 fn usage() -> ! {
     eprintln!("usage: surfacecheck check [--mono-tol F] <SURFACE_*.json>...");
     eprintln!("       surfacecheck diff <golden.json> <resumed.json>");
-    std::process::exit(2);
+    std::process::exit(exit::USAGE);
 }
 
 fn check_mode(args: &[String]) {
@@ -43,11 +44,11 @@ fn check_mode(args: &[String]) {
         if a == "--mono-tol" {
             let Some(t) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
                 eprintln!("surfacecheck: --mono-tol needs a number");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             };
             if !(0.0..1.0).contains(&t) {
                 eprintln!("surfacecheck: --mono-tol must be in [0, 1)");
-                std::process::exit(2);
+                std::process::exit(exit::USAGE);
             }
             mono_tol = t;
         } else if a.starts_with('-') {
@@ -62,7 +63,7 @@ fn check_mode(args: &[String]) {
     for f in &files {
         let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
             eprintln!("surfacecheck: {f}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit::VALIDATION_FAIL);
         });
         match validate_surface(&text, mono_tol) {
             Ok(s) => println!(
@@ -71,7 +72,7 @@ fn check_mode(args: &[String]) {
             ),
             Err(e) => {
                 eprintln!("surfacecheck: {f}: {e}");
-                std::process::exit(1);
+                std::process::exit(exit::VALIDATION_FAIL);
             }
         }
     }
@@ -83,7 +84,7 @@ fn diff_mode(args: &[String]) {
     let read = |p: &String| {
         std::fs::read_to_string(p).unwrap_or_else(|e| {
             eprintln!("surfacecheck: {p}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit::VALIDATION_FAIL);
         })
     };
     let (a, b) = (read(golden), read(resumed));
@@ -107,7 +108,7 @@ fn diff_mode(args: &[String]) {
     );
     eprintln!("  golden:  ...{}", excerpt(&a, at));
     eprintln!("  resumed: ...{}", excerpt(&b, at));
-    std::process::exit(1);
+    std::process::exit(exit::VALIDATION_FAIL);
 }
 
 /// A short printable window of `s` starting near byte `at`.

@@ -7,17 +7,21 @@
 //! ```text
 //! tracecheck results/TRACE_fig05.jsonl swap_begin mdm_decision rsm_epoch
 //! ```
+//!
+//! Exit codes follow the shared [`profess_bench::exit`] taxonomy:
+//! `0` = valid, `1` = validation failure, `2` = usage error.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use profess_bench::exit;
 use profess_metrics::Json;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(path) = args.next() else {
         eprintln!("usage: tracecheck <trace.jsonl> [required_kind...]");
-        return ExitCode::FAILURE;
+        return ExitCode::from(exit::USAGE as u8);
     };
     let required: Vec<String> = args.collect();
     let text = match std::fs::read_to_string(&path) {

@@ -293,8 +293,10 @@ impl Journal {
     }
 }
 
-/// Renders one journal line (trailing newline included).
-fn encode_line(key: &str, payload: &Json) -> String {
+/// Renders one journal line (trailing newline included). Crate-visible
+/// so the shard merge (see [`crate::shard`]) can rewrite a merged
+/// journal in exactly the format [`Journal::record`] appends.
+pub(crate) fn encode_line(key: &str, payload: &Json) -> String {
     let fp = fingerprint(&payload.to_string());
     let mut line = Json::obj([
         ("key", Json::Str(key.to_string())),
@@ -307,7 +309,8 @@ fn encode_line(key: &str, payload: &Json) -> String {
 }
 
 /// Decodes one journal line, verifying the payload fingerprint.
-fn decode_line(line: &str) -> Option<(String, Json)> {
+/// Crate-visible for the shard merge.
+pub(crate) fn decode_line(line: &str) -> Option<(String, Json)> {
     let j = Json::parse(line).ok()?;
     let Json::Str(key) = j.get("key")? else {
         return None;
@@ -346,6 +349,71 @@ pub fn entries_of_file(path: &Path) -> Result<BTreeMap<String, Json>, String> {
         entries.insert(key, payload);
     }
     Ok(entries)
+}
+
+/// Two journal lines claiming the same cell key with **different**
+/// payload fingerprints — two different executions both said "this is
+/// cell K's result" and disagreed. The tolerant loader silently lets
+/// the later one win; [`key_conflicts`] makes the disagreement loud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyConflict {
+    /// The contested cell key.
+    pub key: String,
+    /// 1-based line number of the first entry for the key.
+    pub first_lineno: usize,
+    /// The first entry's raw journal line.
+    pub first_line: String,
+    /// 1-based line number of the conflicting later entry.
+    pub second_lineno: usize,
+    /// The conflicting entry's raw journal line.
+    pub second_line: String,
+}
+
+impl std::fmt::Display for KeyConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conflicting entries for cell key `{}`:\n  line {}: {}\n  line {}: {}",
+            self.key, self.first_lineno, self.first_line, self.second_lineno, self.second_line
+        )
+    }
+}
+
+/// Strictly scans a journal for duplicate cell keys whose payload
+/// fingerprints differ (see [`KeyConflict`]). Benign duplicates —
+/// identical key *and* fingerprint, as when a re-dealt shard cell ran
+/// twice deterministically — are fine; a mismatch means two runs
+/// disagreed about one cell and the journal cannot be trusted. Every
+/// line must decode (CI semantics, like [`entries_of_file`]).
+pub fn key_conflicts(path: &Path) -> Result<Vec<KeyConflict>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut first_seen: BTreeMap<String, (usize, String, String)> = BTreeMap::new();
+    let mut conflicts = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (key, payload) = decode_line(line)
+            .ok_or_else(|| format!("{}:{}: invalid checkpoint line", path.display(), lineno))?;
+        let fp = fingerprint(&payload.to_string());
+        match first_seen.get(&key) {
+            None => {
+                first_seen.insert(key, (lineno, fp, line.to_string()));
+            }
+            Some((first_lineno, first_fp, first_line)) if *first_fp != fp => {
+                conflicts.push(KeyConflict {
+                    key,
+                    first_lineno: *first_lineno,
+                    first_line: first_line.clone(),
+                    second_lineno: lineno,
+                    second_line: line.to_string(),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(conflicts)
 }
 
 #[cfg(test)]
@@ -437,6 +505,41 @@ mod tests {
         assert_eq!(j2.lookup("a"), None, "tampered cell must rerun");
         assert_eq!(j2.lookup("b"), Some(Json::UInt(2)));
         assert!(validate_file(&path).is_err(), "CI validation is strict");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn key_conflicts_flags_disagreeing_duplicates_only() {
+        let path = tmp("conflicts.jsonl");
+        std::fs::remove_file(&path).ok();
+        let j = Journal::load(&path).expect("create");
+        j.record("a", Json::UInt(1));
+        j.record("b", Json::UInt(2));
+        // A benign duplicate: same key, same payload (re-dealt cell
+        // executed twice, deterministically).
+        j.record("a", Json::UInt(1));
+        drop(j);
+        assert_eq!(key_conflicts(&path), Ok(vec![]));
+
+        // A conflicting duplicate: same key, different payload.
+        let j = Journal::load(&path).expect("reopen");
+        j.record("b", Json::UInt(99));
+        drop(j);
+        let conflicts = key_conflicts(&path).expect("scan");
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].key, "b");
+        assert_eq!(conflicts[0].first_lineno, 2);
+        assert_eq!(conflicts[0].second_lineno, 4);
+        assert!(conflicts[0].first_line.contains(":2}"), "{conflicts:?}");
+        assert!(conflicts[0].second_line.contains(":99}"), "{conflicts:?}");
+        let msg = conflicts[0].to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("line 4"), "{msg}");
+
+        // Strict like the rest of CI: an undecodable line is an error.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text + "{\"key\":\"torn").unwrap();
+        assert!(key_conflicts(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,56 @@
+//! The shared exit-code taxonomy for every bench binary.
+//!
+//! Historically each binary picked its own codes, and two of them
+//! (`benchgate`, `tracecheck`) returned a bare `1` for usage errors —
+//! indistinguishable from a real validation failure in CI scripts that
+//! branch on the code. One vocabulary, used everywhere:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | validation failed (regression, malformed artifact, diff) |
+//! | 2    | usage error (bad flags, unreadable config, bad env) |
+//! | 3    | sweep ended with terminally-failed cells |
+//! | 4    | a sharded sweep lost a worker past its re-deal budget |
+//!
+//! Injected faults are the one exception: a worker killed by
+//! `PROFESS_FAULT=exit@N` dies with
+//! [`profess_par::FAULT_EXIT_CODE`] (86), deliberately outside this
+//! range so a test harness can tell an injected death from a real
+//! verdict.
+
+/// Success.
+pub const OK: i32 = 0;
+
+/// A validation failure: a gated regression, a malformed artifact, a
+/// byte-diff mismatch, a conflicting journal entry.
+pub const VALIDATION_FAIL: i32 = 1;
+
+/// A usage error: bad arguments or flags, invalid `PROFESS_*`
+/// environment values. (An unreadable or malformed *input file* is a
+/// validation failure — the invocation was fine, the artifact is not.)
+pub const USAGE: i32 = 2;
+
+/// A supervised sweep completed but at least one cell failed
+/// terminally (retries exhausted, timed out, panicked).
+pub const SWEEP_FAILURE: i32 = 3;
+
+/// A sharded sweep lost a worker process and could not re-deal its
+/// cells within the retry budget.
+pub const WORKER_LOST: i32 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        assert_eq!(OK, 0);
+        assert_eq!(VALIDATION_FAIL, 1);
+        assert_eq!(USAGE, 2);
+        assert_eq!(SWEEP_FAILURE, 3);
+        assert_eq!(WORKER_LOST, 4);
+        // The injected-fault code stays outside the taxonomy range.
+        assert_eq!(profess_par::FAULT_EXIT_CODE, 86);
+    }
+}

@@ -228,6 +228,7 @@ fn hostname() -> String {
 }
 
 fn rustc_version() -> String {
+    // profess: allow(process_spawn): toolchain probe for BENCH meta, not a worker spawn
     std::process::Command::new("rustc")
         .arg("--version")
         .output()

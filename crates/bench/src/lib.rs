@@ -12,7 +12,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod checkpoint;
+pub mod exit;
 pub mod harness;
+pub mod shard;
 pub mod surface;
 
 use profess_core::system::{PolicyKind, RunOutcome, SystemBuilder, SystemReport};
@@ -41,7 +43,7 @@ pub fn usage_error(msg: &str) -> ! {
     let bin = bin.rsplit('/').next().unwrap_or("bench");
     eprintln!("{bin}: error: {msg}");
     eprintln!("usage: {bin} [--trace] [<target-misses>] [<workload-id>...]");
-    std::process::exit(2)
+    std::process::exit(exit::USAGE)
 }
 
 /// Reads the per-program memory-operation target: first non-flag CLI
@@ -627,8 +629,9 @@ impl SweepRun {
 /// Exit status the figure binaries use when a supervised sweep ends
 /// with at least one terminally-failed cell (distinct from the usage
 /// error exit 2 and the fault-injected kill exit
-/// [`profess_par::FAULT_EXIT_CODE`]).
-pub const SWEEP_FAILURE_EXIT_CODE: i32 = 3;
+/// [`profess_par::FAULT_EXIT_CODE`]). Alias of [`exit::SWEEP_FAILURE`],
+/// kept for the existing binaries' imports.
+pub const SWEEP_FAILURE_EXIT_CODE: i32 = exit::SWEEP_FAILURE;
 
 /// Prints a supervised sweep's resume and failure summary and returns
 /// whether every workload completed. The figure binaries exit with
@@ -725,6 +728,121 @@ pub(crate) fn run_cell(
     }
 }
 
+/// Enumerates the cells of a normalized sweep, in spec order:
+/// deduplicated solo references first (policy-major, first-seen program
+/// order), then two multiprogram cells per workload, PoM before
+/// `policy`. This order is the canonical *cell order* every consumer
+/// shares — the sweep's journal append order when run serially, the
+/// shard supervisor's deal order, and the merged journal's line order.
+fn normalized_cell_specs(
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    target_misses: u64,
+    workloads: &[Workload],
+) -> Vec<CellSpec> {
+    let cfgfp = checkpoint::config_fingerprint(cfg, target_misses);
+    let policies = [PolicyKind::Pom, policy];
+    let mut specs: Vec<CellSpec> = Vec::new();
+    let mut seen: Vec<(&'static str, SpecProgram)> = Vec::new();
+    for &pk in &policies {
+        for w in workloads {
+            for &p in w.programs.iter() {
+                if !seen.contains(&(pk.name(), p)) {
+                    seen.push((pk.name(), p));
+                    specs.push(CellSpec {
+                        key: format!("solo|{}|{}|{}", pk.name(), p.name(), cfgfp),
+                        label: format!("solo:{}:{}", pk.name(), p.name()),
+                        kind: CellKind::Solo(pk, p),
+                    });
+                }
+            }
+        }
+    }
+    for (wi, w) in workloads.iter().enumerate() {
+        for &pk in &policies {
+            specs.push(CellSpec {
+                key: format!("multi|{}|{}|{}", pk.name(), w.id, cfgfp),
+                label: format!("{}:{}", w.id, pk.name()),
+                kind: CellKind::Multi(wi, pk),
+            });
+        }
+    }
+    specs
+}
+
+/// The spec-order journal keys of a normalized sweep's cells — the
+/// shard units `profess-shard` deals to worker processes, and the line
+/// order of a merged shard journal.
+pub fn normalized_cell_keys(
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    target_misses: u64,
+    workloads: &[Workload],
+) -> Vec<String> {
+    normalized_cell_specs(cfg, policy, target_misses, workloads)
+        .into_iter()
+        .map(|s| s.key)
+        .collect()
+}
+
+/// Runs (or skips) **one** normalized-sweep cell, identified by its
+/// journal key — the shard worker's unit of work. A cell already in
+/// `journal` with a decodable payload is skipped (`Ok(false)`); a
+/// fresh cell runs under single-slot supervision with `sup`'s retry
+/// budget and is journaled on success (`Ok(true)`). A terminal failure
+/// (retries exhausted) is `Err` with the failure description, as is an
+/// unknown key — a worker must never silently accept a cell it cannot
+/// map back to the sweep spec.
+pub fn run_normalized_cell(
+    cfg: &SystemConfig,
+    policy: PolicyKind,
+    target_misses: u64,
+    workloads: &[Workload],
+    sup: &SuperviseConfig,
+    journal: &Journal,
+    key: &str,
+) -> Result<bool, String> {
+    let specs = normalized_cell_specs(cfg, policy, target_misses, workloads);
+    let Some(spec) = specs.iter().find(|s| s.key == key) else {
+        return Err(format!("unknown cell key `{key}`"));
+    };
+    if journal
+        .lookup(key)
+        .and_then(|p| decode_cell(spec.kind, &p))
+        .is_some()
+    {
+        return Ok(false);
+    }
+    let outs = Pool::new(1).run_supervised(&[()], sup, |ctx, &()| {
+        let b = cell_builder(cfg, spec.kind, workloads, target_misses);
+        let report = run_cell(
+            b,
+            &SnapshotMode::disabled(),
+            journal,
+            &snapshot_key(key),
+            &ctx,
+        );
+        let value = match spec.kind {
+            CellKind::Solo(..) => CellValue::Solo(report.programs[0].ipc),
+            CellKind::Multi(..) => CellValue::Multi(MultiCell::from_report(&report), Some(report)),
+        };
+        journal.record(key, encode_cell(&value));
+    });
+    conclude_single_cell(outs)
+}
+
+/// Reduces a single-slot supervised run to the worker contract:
+/// `Ok(true)` on success, `Err(description)` on terminal failure.
+pub(crate) fn conclude_single_cell(outs: Vec<Supervised<()>>) -> Result<bool, String> {
+    match outs.into_iter().next() {
+        Some(s) => match s.outcome {
+            TaskOutcome::Ok(()) => Ok(true),
+            o => Err(o.error().unwrap_or_else(|| "failed".to_string())),
+        },
+        None => Err("supervision returned no slot".to_string()),
+    }
+}
+
 /// The supervised, checkpointable normalized sweep all `normalized_sweep*`
 /// entry points are built on.
 ///
@@ -763,33 +881,7 @@ pub fn normalized_sweep_supervised(
     snap: &SnapshotMode,
     traces: &mut harness::TraceCollector,
 ) -> SweepRun {
-    let cfgfp = checkpoint::config_fingerprint(cfg, target_misses);
-    let policies = [PolicyKind::Pom, policy];
-    let mut specs: Vec<CellSpec> = Vec::new();
-    let mut seen: Vec<(&'static str, SpecProgram)> = Vec::new();
-    for &pk in &policies {
-        for w in workloads {
-            for &p in w.programs.iter() {
-                if !seen.contains(&(pk.name(), p)) {
-                    seen.push((pk.name(), p));
-                    specs.push(CellSpec {
-                        key: format!("solo|{}|{}|{}", pk.name(), p.name(), cfgfp),
-                        label: format!("solo:{}:{}", pk.name(), p.name()),
-                        kind: CellKind::Solo(pk, p),
-                    });
-                }
-            }
-        }
-    }
-    for (wi, w) in workloads.iter().enumerate() {
-        for &pk in &policies {
-            specs.push(CellSpec {
-                key: format!("multi|{}|{}|{}", pk.name(), w.id, cfgfp),
-                label: format!("{}:{}", w.id, pk.name()),
-                kind: CellKind::Multi(wi, pk),
-            });
-        }
-    }
+    let specs = normalized_cell_specs(cfg, policy, target_misses, workloads);
 
     // Replay the journal; only the remaining cells run.
     let mut values: Vec<Option<CellValue>> = specs.iter().map(|_| None).collect();

@@ -348,17 +348,7 @@ pub fn surface_sweep(
     snap: &SnapshotMode,
     traces: &mut TraceCollector,
 ) -> SurfaceRun {
-    let cfgfp = checkpoint::config_fingerprint(cfg, spec.target_ops);
-    let mut grid: Vec<(PolicyKind, f64, f64, String, String)> = Vec::with_capacity(spec.cells());
-    for &pk in &spec.policies {
-        for &rf in &spec.read_fracs {
-            for &it in &spec.intensities {
-                let key = surface_cell_key(pk, rf, it, &cfgfp);
-                let label = format!("surface:{}:r{rf:?}:i{it:?}", pk.name());
-                grid.push((pk, rf, it, key, label));
-            }
-        }
-    }
+    let grid = surface_grid(cfg, spec);
 
     // Replay the journal; only the remaining cells run.
     let mut values: Vec<Option<SurfacePoint>> = grid.iter().map(|_| None).collect();
@@ -434,6 +424,77 @@ pub fn surface_sweep(
         resumed,
         skipped_malformed: journal.rejected(),
     }
+}
+
+/// Enumerates the surface grid in sweep order (policy-major, then read
+/// fraction, then intensity): `(policy, read_frac, intensity, key,
+/// label)` per cell. This is the canonical cell order shared by the
+/// serial journal, the shard supervisor's deal order, and the merged
+/// journal's line order.
+fn surface_grid(
+    cfg: &SystemConfig,
+    spec: &SurfaceSpec,
+) -> Vec<(PolicyKind, f64, f64, String, String)> {
+    let cfgfp = checkpoint::config_fingerprint(cfg, spec.target_ops);
+    let mut grid: Vec<(PolicyKind, f64, f64, String, String)> = Vec::with_capacity(spec.cells());
+    for &pk in &spec.policies {
+        for &rf in &spec.read_fracs {
+            for &it in &spec.intensities {
+                let key = surface_cell_key(pk, rf, it, &cfgfp);
+                let label = format!("surface:{}:r{rf:?}:i{it:?}", pk.name());
+                grid.push((pk, rf, it, key, label));
+            }
+        }
+    }
+    grid
+}
+
+/// The spec-order journal keys of a surface sweep's cells — the shard
+/// units `profess-shard` deals to worker processes, and the line order
+/// of a merged shard journal.
+pub fn surface_cell_keys(cfg: &SystemConfig, spec: &SurfaceSpec) -> Vec<String> {
+    surface_grid(cfg, spec)
+        .into_iter()
+        .map(|(_, _, _, key, _)| key)
+        .collect()
+}
+
+/// Runs (or skips) **one** surface cell, identified by its journal key
+/// — the shard worker's unit of work. Mirrors
+/// [`crate::run_normalized_cell`]: `Ok(false)` when the cell is already
+/// journaled with a decodable payload, `Ok(true)` after a fresh run is
+/// journaled, `Err` on terminal failure or an unknown key.
+pub fn run_surface_cell(
+    cfg: &SystemConfig,
+    spec: &SurfaceSpec,
+    sup: &SuperviseConfig,
+    journal: &Journal,
+    key: &str,
+) -> Result<bool, String> {
+    let grid = surface_grid(cfg, spec);
+    let Some((pk, rf, it, cell_key, _)) = grid.into_iter().find(|(_, _, _, k, _)| k == key) else {
+        return Err(format!("unknown cell key `{key}`"));
+    };
+    if journal
+        .lookup(&cell_key)
+        .and_then(|p| SurfacePoint::from_json(&p))
+        .is_some()
+    {
+        return Ok(false);
+    }
+    let outs = Pool::new(1).run_supervised(&[()], sup, |ctx, &()| {
+        let b = surface_cell_builder(cfg, pk, rf, it, spec.target_ops);
+        let report = run_cell(
+            b,
+            &SnapshotMode::disabled(),
+            journal,
+            &snapshot_key(&cell_key),
+            &ctx,
+        );
+        let point = SurfacePoint::from_report(pk, rf, it, &report);
+        journal.record(&cell_key, point.to_json());
+    });
+    crate::conclude_single_cell(outs)
 }
 
 /// Renders a surface artifact document: the spec's axes plus every
@@ -581,6 +642,23 @@ pub fn parse_policy(name: &str) -> Option<PolicyKind> {
         .find(|(n, _)| *n == name)
         .map(|&(_, pk)| pk)
 }
+
+/// The CLI name of a policy — the inverse of [`parse_policy`], used by
+/// `profess-shard` to re-exec workers with round-trippable arguments.
+pub fn policy_cli_name(policy: PolicyKind) -> Option<&'static str> {
+    POLICY_NAMES
+        .iter()
+        .find(|&&(_, pk)| pk == policy)
+        .map(|&(n, _)| n)
+}
+
+/// Environment variable overriding the read-fraction axis
+/// (comma-separated, strictly ascending). Shared by the `surface` and
+/// `profess-shard` binaries — both must derive the same grid.
+pub const RATIOS_ENV: &str = "PROFESS_SURFACE_RATIOS";
+
+/// Environment variable overriding the intensity axis.
+pub const INTENSITIES_ENV: &str = "PROFESS_SURFACE_INTENSITIES";
 
 /// Reads a comma-separated float axis from environment variable `var`,
 /// defaulting to `default` when unset or empty. Errors name the

@@ -3,8 +3,8 @@
 //! the gate catches a synthetic regression before trusting it with the
 //! real smoke artifacts.
 //!
-//! Exit-code contract (see the binary's docs): 0 = within threshold,
-//! 1 = usage/IO/parse error, 2 = regression.
+//! Exit-code contract (the shared `bench::exit` taxonomy): 0 = within
+//! threshold, 1 = regression or I/O/parse error, 2 = usage error.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -47,12 +47,13 @@ fn within_threshold_passes() {
 }
 
 #[test]
-fn synthetic_regression_fails_with_exit_2() {
+fn synthetic_regression_fails_with_exit_1() {
     let (code, stdout, stderr) = run(
         &["--baseline", &baseline(), &fixture("fresh-regressed")],
         &[],
     );
-    assert_eq!(code, Some(2), "{stdout}{stderr}");
+    assert_eq!(code, Some(1), "{stdout}{stderr}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
     // The regressed entry is named; the within-threshold one is not.
     assert!(stderr.contains("beta"), "{stderr}");
     assert!(!stderr.contains("alpha"), "{stderr}");
@@ -71,7 +72,7 @@ fn env_override_selects_the_baseline() {
         &[&fixture("fresh-regressed")],
         &[("PROFESS_BENCH_BASELINE", &baseline())],
     );
-    assert_eq!(code, Some(2), "{stderr}");
+    assert_eq!(code, Some(1), "{stderr}");
 }
 
 #[test]
@@ -120,6 +121,6 @@ fn malformed_input_is_an_error_not_a_pass() {
 #[test]
 fn no_files_is_a_usage_error() {
     let (code, _, stderr) = run(&[], &[]);
-    assert_eq!(code, Some(1), "{stderr}");
+    assert_eq!(code, Some(2), "{stderr}");
     assert!(stderr.contains("usage"), "{stderr}");
 }

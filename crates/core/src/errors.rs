@@ -121,12 +121,21 @@ pub enum SimError {
         /// Which feature blocks snapshotting.
         what: String,
     },
+    /// A sharded sweep lost a cell's work past recovery: every re-deal
+    /// of the cell to a worker process ended with the worker dead.
+    WorkerLost {
+        /// The checkpoint cell key that could not be completed.
+        cell: String,
+        /// Times the cell was dealt before the run was declared lost.
+        deals: u32,
+    },
 }
 
 impl SimError {
     /// Stable machine-readable label (`budget_exceeded`, `deadlock`,
     /// `cancelled`, `snapshot_version`, `snapshot_corrupt`,
-    /// `snapshot_config_mismatch`, `snapshot_unsupported`).
+    /// `snapshot_config_mismatch`, `snapshot_unsupported`,
+    /// `worker_lost`).
     pub fn label(&self) -> &'static str {
         match self {
             SimError::BudgetExceeded { .. } => "budget_exceeded",
@@ -136,6 +145,7 @@ impl SimError {
             SimError::SnapshotCorrupt { .. } => "snapshot_corrupt",
             SimError::SnapshotConfigMismatch { .. } => "snapshot_config_mismatch",
             SimError::SnapshotUnsupported { .. } => "snapshot_unsupported",
+            SimError::WorkerLost { .. } => "worker_lost",
         }
     }
 }
@@ -180,6 +190,10 @@ impl std::fmt::Display for SimError {
             SimError::SnapshotUnsupported { what } => {
                 write!(f, "snapshot unsupported: {what}")
             }
+            SimError::WorkerLost { cell, deals } => write!(
+                f,
+                "cell `{cell}` lost after {deals} deal(s) to worker processes"
+            ),
         }
     }
 }
@@ -265,6 +279,15 @@ mod tests {
         };
         assert_eq!(u.to_string(), "snapshot unsupported: region sampling");
         assert_eq!(u.label(), "snapshot_unsupported");
+        let w = SimError::WorkerLost {
+            cell: "multi|mdm|w01|abc".to_string(),
+            deals: 2,
+        };
+        assert_eq!(
+            w.to_string(),
+            "cell `multi|mdm|w01|abc` lost after 2 deal(s) to worker processes"
+        );
+        assert_eq!(w.label(), "worker_lost");
     }
 
     #[test]

@@ -1,0 +1,499 @@
+//! Worker-*process* supervision for sharded sweeps: spawn, message,
+//! watch, kill, and classify child processes of the current binary.
+//!
+//! [`crate::supervise`] contains failures inside one process — a
+//! panicking cell unwinds, a stalled cell is cancelled. This module is
+//! the next isolation ring out: the shard supervisor (`profess-shard`
+//! in `profess-bench`) re-execs the **current executable** as N worker
+//! processes and talks to them over line-delimited stdin/stdout, so a
+//! worker that aborts, segfaults, or wedges takes down only its own
+//! address space. The policy — what to deal, when a silent worker is
+//! dead, where its cells go — lives with the caller; this module owns
+//! the mechanism: process lifecycle, non-blocking line I/O (one reader
+//! thread per worker feeding a shared channel), exit classification,
+//! and the deterministic process-level fault plan
+//! (`worker_kill@k`/`worker_hang@k` entries of `PROFESS_FAULT`).
+//!
+//! Everything here is std-only: `std::process::Command` +
+//! `std::sync::mpsc`, no dependencies, per the workspace's hermetic
+//! policy. Spawned programs are always `std::env::current_exe()` — the
+//! `process_spawn` lint enforces that no other module in the workspace
+//! launches processes at all.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+use crate::supervise::{SuperviseConfig, FAULT_ENV};
+
+/// Env var carrying the process-side fault plan to a worker (set by
+/// the shard supervisor, never by hand): the `worker_*` entries split
+/// out of the supervisor's own `PROFESS_FAULT`.
+pub const SHARD_FAULT_ENV: &str = "PROFESS_SHARD_FAULT";
+
+/// Which process-level failure a fault injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessFaultKind {
+    /// The worker aborts (SIGABRT — no exit code, like `kill -9`).
+    Kill,
+    /// The worker stops responding without exiting, exercising the
+    /// supervisor's deadline watchdog.
+    Hang,
+}
+
+/// One injected process fault: `kind` fires when worker `worker`
+/// begins its `nth_cell`-th dealt cell (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcessFault {
+    /// The failure to inject.
+    pub kind: ProcessFaultKind,
+    /// The worker index it targets.
+    pub worker: usize,
+    /// Which of the worker's dealt cells triggers it (1 = its first).
+    pub nth_cell: u32,
+}
+
+/// A deterministic process-level fault schedule, keyed by worker index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessFaultPlan {
+    faults: Vec<ProcessFault>,
+}
+
+impl ProcessFaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> ProcessFaultPlan {
+        ProcessFaultPlan::default()
+    }
+
+    /// Is this the empty plan?
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parses a spec: comma-separated `worker_kill@worker[*nth]` /
+    /// `worker_hang@worker[*nth]` entries; `nth` defaults to 1 (the
+    /// worker's first dealt cell). An empty spec is the empty plan.
+    pub fn parse(spec: &str) -> Result<ProcessFaultPlan, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (kind_s, rest) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("process fault `{entry}`: expected kind@worker[*nth]"))?;
+            let kind = match kind_s {
+                "worker_kill" => ProcessFaultKind::Kill,
+                "worker_hang" => ProcessFaultKind::Hang,
+                _ => return Err(format!("process fault `{entry}`: unknown kind `{kind_s}`")),
+            };
+            let (worker_s, nth_s) = match rest.split_once('*') {
+                Some((w, n)) => (w, Some(n)),
+                None => (rest, None),
+            };
+            let worker = worker_s
+                .parse::<usize>()
+                .map_err(|_| format!("process fault `{entry}`: bad worker `{worker_s}`"))?;
+            let nth_cell =
+                match nth_s {
+                    Some(n) => n.parse::<u32>().ok().filter(|&c| c > 0).ok_or_else(|| {
+                        format!("process fault `{entry}`: bad cell ordinal `{n}`")
+                    })?,
+                    None => 1,
+                };
+            faults.push(ProcessFault {
+                kind,
+                worker,
+                nth_cell,
+            });
+        }
+        Ok(ProcessFaultPlan { faults })
+    }
+
+    /// Reads the plan from [`SHARD_FAULT_ENV`] (empty plan when unset).
+    /// Workers call this; the supervisor sets the variable per child.
+    pub fn from_env() -> Result<ProcessFaultPlan, String> {
+        match std::env::var(SHARD_FAULT_ENV) {
+            Ok(spec) => ProcessFaultPlan::parse(&spec),
+            Err(_) => Ok(ProcessFaultPlan::none()),
+        }
+    }
+
+    /// The fault scheduled for worker `worker`'s `nth_cell`-th dealt
+    /// cell, if any.
+    pub fn action(&self, worker: usize, nth_cell: u32) -> Option<ProcessFaultKind> {
+        self.faults
+            .iter()
+            .find(|f| f.worker == worker && f.nth_cell == nth_cell)
+            .map(|f| f.kind)
+    }
+}
+
+/// Splits a `PROFESS_FAULT` spec into its task-side and process-side
+/// parts: entries whose kind starts with `worker_` go to the process
+/// plan, the rest stay task-side (`panic`/`stall`/`exit`, handled by
+/// [`crate::supervise::FaultPlan`]). Entry order is preserved within
+/// each side; neither part is validated here.
+pub fn split_fault_spec(spec: &str) -> (String, String) {
+    let (mut task, mut process) = (Vec::new(), Vec::new());
+    for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+        let kind = entry.split('@').next().unwrap_or(entry);
+        if kind.starts_with("worker_") {
+            process.push(entry);
+        } else {
+            task.push(entry);
+        }
+    }
+    (task.join(","), process.join(","))
+}
+
+/// The supervision environment, split across the process boundary:
+/// what the shard supervisor keeps for itself and what it forwards to
+/// its workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSupervision {
+    /// In-process supervision (retries, timeout, task-side faults) —
+    /// the supervisor's retry budget doubles as the per-cell re-deal
+    /// budget, and the config workers rebuild from the forwarded env
+    /// is identical.
+    pub sup: SuperviseConfig,
+    /// Task-side fault entries, forwarded to workers as their
+    /// `PROFESS_FAULT`.
+    pub task_fault_spec: String,
+    /// Process-side (`worker_*`) fault entries, forwarded to workers
+    /// as [`SHARD_FAULT_ENV`].
+    pub process_fault_spec: String,
+}
+
+impl ShardSupervision {
+    /// Reads `PROFESS_RETRIES`, `PROFESS_TASK_TIMEOUT_MS`, and
+    /// `PROFESS_FAULT` like [`SuperviseConfig::from_env`], but splits
+    /// `worker_*` entries out of the fault spec first (plain
+    /// `SuperviseConfig::from_env` rejects them as unknown kinds).
+    /// Both halves are validated.
+    pub fn from_env() -> Result<ShardSupervision, String> {
+        let raw = std::env::var(FAULT_ENV).unwrap_or_default();
+        let (task_fault_spec, process_fault_spec) = split_fault_spec(&raw);
+        ProcessFaultPlan::parse(&process_fault_spec)?;
+        let mut sup = SuperviseConfig::base_from_env()?;
+        sup.faults = crate::supervise::FaultPlan::parse(&task_fault_spec)?;
+        Ok(ShardSupervision {
+            sup,
+            task_fault_spec,
+            process_fault_spec,
+        })
+    }
+}
+
+/// Fires a process-level fault in a worker. Diverges: the kill aborts
+/// (SIGABRT, so the parent sees a signal death, not an exit code —
+/// the same observable as an OOM kill), and the hang parks the thread
+/// forever (the supervisor's deadline watchdog must reap it).
+pub fn worker_fault(kind: ProcessFaultKind) -> ! {
+    match kind {
+        ProcessFaultKind::Kill => std::process::abort(),
+        ProcessFaultKind::Hang => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+}
+
+/// How a worker process ended, as the supervisor classifies it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// Exited 0.
+    Ok,
+    /// Exited non-zero (a Rust panic in a worker exits 101; an
+    /// injected task fault exits [`crate::supervise::FAULT_EXIT_CODE`]).
+    Panicked {
+        /// The exit code.
+        code: i32,
+    },
+    /// Died without an exit code (killed by a signal: SIGKILL,
+    /// SIGABRT, segfault).
+    Killed,
+    /// Missed its deadline and was killed by the supervisor's
+    /// watchdog (classified by the caller before the kill).
+    TimedOut,
+    /// Spoke garbage on the protocol channel and was killed
+    /// (classified by the caller before the kill).
+    Protocol {
+        /// What was wrong with the frame.
+        msg: String,
+    },
+}
+
+impl WorkerExit {
+    /// A stable machine-readable label (`ok`, `panicked`, `killed`,
+    /// `timed_out`, `protocol_error`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkerExit::Ok => "ok",
+            WorkerExit::Panicked { .. } => "panicked",
+            WorkerExit::Killed => "killed",
+            WorkerExit::TimedOut => "timed_out",
+            WorkerExit::Protocol { .. } => "protocol_error",
+        }
+    }
+
+    /// Did the worker finish cleanly?
+    pub fn is_ok(&self) -> bool {
+        matches!(self, WorkerExit::Ok)
+    }
+}
+
+/// What to run a worker as: arguments and extra environment for a
+/// re-exec of the current binary.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerSpec {
+    /// Command-line arguments.
+    pub args: Vec<String>,
+    /// Environment overrides applied on top of the inherited
+    /// environment (set per-child, never via global `set_var`).
+    pub envs: Vec<(String, String)>,
+}
+
+/// An event from some worker's stdout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerEvent {
+    /// One line (without the trailing newline).
+    Line(String),
+    /// The worker closed its stdout (it exited or is about to).
+    Eof,
+}
+
+/// One live (or reaped) worker process.
+#[derive(Debug)]
+struct Worker {
+    child: Child,
+    stdin: Option<ChildStdin>,
+}
+
+/// A set of worker processes re-exec'd from the current binary, with
+/// line-based I/O multiplexed onto one event channel.
+///
+/// Each spawned worker gets a reader thread draining its stdout into
+/// the shared channel as [`WorkerEvent`]s tagged with the worker
+/// index, so the supervisor can `select` across all workers with one
+/// timed [`WorkerPool::next_event`] loop and never blocks on a dead
+/// or silent child. Stderr is inherited — worker diagnostics go to
+/// the terminal, the protocol owns stdout exclusively.
+#[derive(Debug)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+    tx: Sender<(usize, WorkerEvent)>,
+    rx: Receiver<(usize, WorkerEvent)>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> WorkerPool {
+        WorkerPool::new()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool.
+    pub fn new() -> WorkerPool {
+        let (tx, rx) = channel();
+        WorkerPool {
+            workers: Vec::new(),
+            tx,
+            rx,
+        }
+    }
+
+    /// How many workers have been spawned (alive or not).
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Has nothing been spawned?
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Spawns one worker: the **current executable** with `spec`'s
+    /// arguments and environment, stdin/stdout piped for the protocol,
+    /// stderr inherited. Returns the worker's index in this pool.
+    ///
+    /// A spawn failure is an `Err`, not a panic — the caller degrades
+    /// to in-process execution.
+    pub fn spawn(&mut self, spec: &WorkerSpec) -> Result<usize, String> {
+        let mut cmd =
+            Command::new(std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?);
+        cmd.args(&spec.args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in &spec.envs {
+            cmd.env(k, v);
+        }
+        let mut child = cmd.spawn().map_err(|e| format!("spawn worker: {e}"))?;
+        let id = self.workers.len();
+        let stdin = child.stdin.take();
+        let Some(stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("spawn worker: no stdout pipe".to_string());
+        };
+        let tx = self.tx.clone();
+        // The reader thread lives until the worker closes stdout (or
+        // dies); send failures just mean the pool is gone.
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send((id, WorkerEvent::Line(l))).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = tx.send((id, WorkerEvent::Eof));
+        });
+        self.workers.push(Worker { child, stdin });
+        Ok(id)
+    }
+
+    /// Sends one protocol line (newline appended) to worker `w`'s
+    /// stdin. An I/O error usually means the worker died mid-write;
+    /// the caller will see its `Eof` shortly.
+    pub fn send(&mut self, w: usize, line: &str) -> Result<(), String> {
+        let worker = self
+            .workers
+            .get_mut(w)
+            .ok_or_else(|| format!("no worker {w}"))?;
+        let stdin = worker
+            .stdin
+            .as_mut()
+            .ok_or_else(|| format!("worker {w}: stdin already closed"))?;
+        stdin
+            .write_all(line.as_bytes())
+            .and_then(|()| stdin.write_all(b"\n"))
+            .and_then(|()| stdin.flush())
+            .map_err(|e| format!("worker {w}: write: {e}"))
+    }
+
+    /// Closes worker `w`'s stdin — the protocol's way of saying "no
+    /// more cells"; the worker drains and exits 0.
+    pub fn close_stdin(&mut self, w: usize) {
+        if let Some(worker) = self.workers.get_mut(w) {
+            worker.stdin = None;
+        }
+    }
+
+    /// Waits up to `timeout` for the next event from any worker.
+    /// `None` means the interval elapsed quietly (the caller's chance
+    /// to check deadlines).
+    pub fn next_event(&self, timeout: Duration) -> Option<(usize, WorkerEvent)> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Kills worker `w` (SIGKILL). Idempotent; errors (already dead)
+    /// are ignored — `wait` still reaps and classifies it.
+    pub fn kill(&mut self, w: usize) {
+        if let Some(worker) = self.workers.get_mut(w) {
+            worker.stdin = None;
+            let _ = worker.child.kill();
+        }
+    }
+
+    /// Reaps worker `w` and classifies its death: exit 0 → [`Ok`],
+    /// non-zero → [`Panicked`], no code (signal) → [`Killed`].
+    ///
+    /// [`Ok`]: WorkerExit::Ok
+    /// [`Panicked`]: WorkerExit::Panicked
+    /// [`Killed`]: WorkerExit::Killed
+    pub fn wait(&mut self, w: usize) -> WorkerExit {
+        let Some(worker) = self.workers.get_mut(w) else {
+            return WorkerExit::Protocol {
+                msg: format!("no worker {w}"),
+            };
+        };
+        worker.stdin = None;
+        match worker.child.wait() {
+            Ok(status) => match status.code() {
+                Some(0) => WorkerExit::Ok,
+                Some(code) => WorkerExit::Panicked { code },
+                None => WorkerExit::Killed,
+            },
+            Err(e) => WorkerExit::Protocol {
+                msg: format!("wait: {e}"),
+            },
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    /// No worker outlives its supervisor: anything still running is
+    /// killed and reaped, so an early supervisor exit (usage error,
+    /// panic) cannot leak orphan simulator processes.
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.stdin = None;
+            let _ = w.child.kill();
+            let _ = w.child.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_fault_plan_parses_and_rejects() {
+        let p = ProcessFaultPlan::parse("worker_kill@1, worker_hang@0*3").unwrap();
+        assert_eq!(p.action(1, 1), Some(ProcessFaultKind::Kill));
+        assert_eq!(p.action(1, 2), None);
+        assert_eq!(p.action(0, 3), Some(ProcessFaultKind::Hang));
+        assert_eq!(p.action(0, 1), None);
+        assert_eq!(p.action(2, 1), None);
+        assert!(ProcessFaultPlan::parse("").unwrap().is_empty());
+        assert!(ProcessFaultPlan::parse("worker_kill@x").is_err());
+        assert!(ProcessFaultPlan::parse("worker_kill@1*0").is_err());
+        assert!(ProcessFaultPlan::parse("panic@1").is_err());
+        assert!(ProcessFaultPlan::parse("worker_kill").is_err());
+    }
+
+    #[test]
+    fn fault_spec_splits_by_kind_prefix() {
+        let (task, process) = split_fault_spec("panic@3,worker_kill@0,stall@1*2,worker_hang@2*4");
+        assert_eq!(task, "panic@3,stall@1*2");
+        assert_eq!(process, "worker_kill@0,worker_hang@2*4");
+        assert_eq!(split_fault_spec(""), (String::new(), String::new()));
+        assert_eq!(
+            split_fault_spec("worker_kill@0"),
+            (String::new(), "worker_kill@0".to_string())
+        );
+        assert_eq!(
+            split_fault_spec("exit@6"),
+            ("exit@6".to_string(), String::new())
+        );
+    }
+
+    #[test]
+    fn worker_exit_labels_are_stable() {
+        assert_eq!(WorkerExit::Ok.label(), "ok");
+        assert!(WorkerExit::Ok.is_ok());
+        assert_eq!(WorkerExit::Panicked { code: 101 }.label(), "panicked");
+        assert_eq!(WorkerExit::Killed.label(), "killed");
+        assert_eq!(WorkerExit::TimedOut.label(), "timed_out");
+        assert_eq!(
+            WorkerExit::Protocol { msg: "m".into() }.label(),
+            "protocol_error"
+        );
+        assert!(!WorkerExit::Killed.is_ok());
+    }
+
+    #[test]
+    fn empty_pool_yields_no_events() {
+        let pool = WorkerPool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.len(), 0);
+        assert!(pool.next_event(Duration::from_millis(5)).is_none());
+    }
+}

@@ -82,7 +82,7 @@ rc=0
 cargo run --release --offline -q -p profess-bench --bin benchgate -- \
     --baseline "$gate_fixtures/baseline" \
     "$gate_fixtures/fresh-regressed/BENCH_gatecheck.json" > /dev/null 2>&1 || rc=$?
-test "$rc" -eq 2  # a missed synthetic regression means the gate is dead
+test "$rc" -eq 1  # a missed synthetic regression means the gate is dead
 cargo run --release --offline -q -p profess-bench --bin benchgate -- \
     --baseline "$gate_fixtures/baseline" \
     "$gate_fixtures/fresh-ok/BENCH_gatecheck.json" > /dev/null
@@ -206,5 +206,27 @@ cargo run --release --offline -q -p profess-bench --bin surfacecheck -- \
     diff "$surf_dir/SURFACE_golden.json" "$surf_dir/SURFACE_surface.json"
 cargo run --release --offline -q -p profess-bench --bin checkpointcheck -- \
     "$surf_dir/CHECKPOINT_surface.jsonl"
+
+# Shard smoke: the multi-process sweep backend end to end (DESIGN.md
+# §15). A 2-worker sharded run with worker 0 killed on its first dealt
+# cell must re-deal the cell to the survivor, merge the shard journals,
+# and reproduce the committed single-process goldens byte-for-byte.
+# shardcheck pins the no-double-execution invariant (exactly one merged
+# line per cell, every shard line covered) and checkpointcheck
+# strict-decodes the merged journal, conflicting duplicates included.
+echo "==> shard smoke (2 workers, injected worker_kill, merge, diff)"
+shard_dir="$smoke_dir/shard"
+mkdir -p "$shard_dir"
+PROFESS_RESULTS_DIR="$shard_dir" PROFESS_FAULT='worker_kill@0' \
+    cargo run --release --offline -q -p profess-bench --bin profess-shard -- \
+    --workers 2 400 w01 > /dev/null 2> "$shard_dir/shard.err"
+grep -q 're-dealing' "$shard_dir/shard.err"  # the kill actually landed
+cargo run --release --offline -q -p profess-bench --bin shardcheck -- \
+    "$shard_dir/CHECKPOINT_fig10_12.jsonl" \
+    "$shard_dir"/CHECKPOINT_fig10_12.shard*.jsonl
+cargo run --release --offline -q -p profess-bench --bin checkpointcheck -- \
+    "$shard_dir/CHECKPOINT_fig10_12.jsonl"
+cmp results/CHECKPOINT_shard_ci.jsonl "$shard_dir/CHECKPOINT_fig10_12.jsonl"
+cmp results/ROWS_shard_ci.json "$shard_dir/ROWS_fig10_12.json"
 
 echo "ci: all tier-1 checks passed"
